@@ -1,0 +1,27 @@
+PYTHON ?= python
+
+.PHONY: install test bench examples results clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/traffic_fleet.py
+	$(PYTHON) examples/suffix_knn_search.py
+	$(PYTHON) examples/uncertainty_monitoring.py
+	$(PYTHON) examples/custom_data.py
+	$(PYTHON) examples/prediction_service.py
+
+results:
+	$(PYTHON) -m repro.cli run-all --preset small --out-dir results/
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

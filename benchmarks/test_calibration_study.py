@@ -1,0 +1,36 @@
+"""Extension bench: uncertainty calibration beyond MNLPD.
+
+Quantifies two of the paper's qualitative claims:
+
+* SMiLer's GP posterior yields *usable* intervals (coverage near
+  nominal),
+* bootstrap "cannot work well" as a fix for lazy kNN's missing
+  uncertainty (Section 2.1): the resampled-mean variance collapses with
+  k, giving badly over-confident intervals.
+"""
+
+from repro.harness import AccuracyScale, run_calibration_study
+
+SCALE = AccuracyScale(
+    n_sensors=2, n_points=3500, test_points=120, steps=90,
+    horizons=(1,), datasets=("ROAD",),
+)
+
+
+def test_calibration_study(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_calibration_study(SCALE), rounds=1, iterations=1
+    )
+    report = result.render()
+    save_report("calibration_study", report)
+    print("\n" + report)
+
+    gp = result.rows["SMiLer-GP"]
+    boot = result.rows["LazyKNN+bootstrap"]
+    # The GP's 95% band covers close to nominally...
+    assert 0.80 <= gp[0] <= 1.0
+    assert gp[1] < 0.25
+    # ...while the bootstrap pseudo-posterior is badly over-confident
+    # (the paper's Section 2.1 claim).
+    assert boot[0] < gp[0] - 0.2
+    assert boot[1] > gp[1]

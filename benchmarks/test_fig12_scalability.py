@@ -1,0 +1,36 @@
+"""Fig. 12: scalability of SMiLer.
+
+Paper's claims: SMiLer-AR's per-step cost is dominated by the search
+step while SMiLer-GP pays extra for online GP training; both run in
+real time (well under the 5-10 minute sample interval); a 6 GB card
+holds on the order of 1000 one-year sensors.
+"""
+
+from repro.harness import AccuracyScale, run_fig12
+
+SCALE = AccuracyScale(
+    n_sensors=2, n_points=3500, test_points=40, steps=30, horizons=(1,),
+)
+
+
+def test_fig12_scalability(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_fig12(SCALE, points_per_sensor=52_560),
+        rounds=1, iterations=1,
+    )
+    report = result.render()
+    save_report("fig12_scalability", report)
+    print("\n" + report)
+
+    for dataset, per_pred in result.step_times.items():
+        ar_search, ar_wall = per_pred["SMiLer-AR"]
+        gp_search, gp_wall = per_pred["SMiLer-GP"]
+        # GP prediction costs more than AR on top of the same search.
+        assert gp_wall > ar_wall, dataset
+        # Real time: far below a 5-minute sensor interval per step.
+        assert gp_wall < 300.0, dataset
+        assert ar_search > 0 and gp_search > 0
+
+    # Fig. 12(c): ~1000 one-year sensors per 6 GB card.
+    for dataset, capacity in result.capacity.items():
+        assert 500 <= capacity <= 5000, (dataset, capacity)

@@ -1,0 +1,37 @@
+"""Fig. 13: PSGP active points vs SMiLer-GP.
+
+Paper's claims: PSGP's training time explodes with the number of active
+points while its MAE improvement saturates past ~32; SMiLer-GP — with no
+training phase at all — still matches or beats PSGP's best MAE.
+"""
+
+import numpy as np
+
+from repro.harness import AccuracyScale, run_fig13
+
+SCALE = AccuracyScale(
+    n_sensors=2, n_points=3500, test_points=90, steps=70, horizons=(1,),
+)
+ACTIVE = (4, 8, 16, 32, 64, 128)
+
+
+def test_fig13_psgp_tradeoff(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_fig13(SCALE, active_points=ACTIVE), rounds=1, iterations=1
+    )
+    report = result.render()
+    save_report("fig13_psgp_tradeoff", report)
+    print("\n" + report)
+
+    for dataset, (times, maes) in result.psgp.items():
+        times = np.asarray(times)
+        maes = np.asarray(maes)
+        # Training cost grows steeply with active points...
+        assert times[-1] > 4 * times[0], dataset
+        # ...while accuracy saturates: the last doubling buys less than
+        # the first ones (diminishing marginal improvement).
+        early_gain = maes[0] - maes[2]
+        late_gain = maes[-2] - maes[-1]
+        assert late_gain < max(early_gain, 0.02) + 1e-9, dataset
+        # SMiLer-GP (no training) is competitive with PSGP's best.
+        assert result.smiler_mae[dataset] < maes.min() * 1.35, dataset

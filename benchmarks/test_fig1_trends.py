@@ -1,0 +1,23 @@
+"""Fig. 1: hardware trends motivating semi-lazy learning (Appendix A)."""
+
+from repro.harness import render_fig1
+from repro.harness.trends import (
+    CPU_CORES_BY_YEAR,
+    GPU_MEMORY_BY_YEAR,
+    GPU_TFLOPS_BY_YEAR,
+    MEMORY_PRICE_BY_YEAR,
+)
+
+
+def test_fig1_trends(benchmark, save_report):
+    report = benchmark.pedantic(render_fig1, rounds=1, iterations=1)
+    save_report("fig1_trends", report)
+    print("\n" + report)
+
+    years = sorted(CPU_CORES_BY_YEAR)
+    # The monotone growth stories of Fig. 1 (a), (b), (d)...
+    assert CPU_CORES_BY_YEAR[years[-1]] > 10 * CPU_CORES_BY_YEAR[years[0]]
+    assert GPU_TFLOPS_BY_YEAR[years[-1]] > 50 * GPU_TFLOPS_BY_YEAR[years[0]]
+    assert GPU_MEMORY_BY_YEAR[years[-1]] > 20 * GPU_MEMORY_BY_YEAR[years[0]]
+    # ...and the price collapse of (c).
+    assert MEMORY_PRICE_BY_YEAR[years[-1]] < MEMORY_PRICE_BY_YEAR[years[0]] / 10

@@ -1,0 +1,36 @@
+"""Fig. 7: Suffix kNN Search running time with varying k.
+
+Paper's claims: SMiLer-Idx is about an order of magnitude faster than the
+best competitor (FastGPUScan) and far ahead of GPUScan and FastCPUScan;
+its cost is stable across k.
+"""
+
+import numpy as np
+
+from repro.harness import SearchScale, run_fig7
+
+SCALE = SearchScale(n_sensors=1, n_points=20_000, continuous_steps=8)
+KS = (16, 32, 64, 128)
+
+
+def test_fig7_suffix_knn_search(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_fig7(SCALE, ks=KS, scan_steps=1), rounds=1, iterations=1
+    )
+    report = result.render()
+    save_report("fig7_knn_search", report)
+    print("\n" + report)
+
+    for dataset in result.times:
+        # Orderings of the paper's log-scale plot.
+        assert result.speedup_over(dataset, "SMiLer-Idx", "FastGPUScan") > 3.0
+        assert result.speedup_over(dataset, "SMiLer-Idx", "GPUScan") > 30.0
+        assert result.speedup_over(dataset, "SMiLer-Idx", "FastCPUScan") > 30.0
+        assert result.speedup_over(dataset, "FastGPUScan", "GPUScan") > 3.0
+        # SMiLer-Dir is never faster than the index by a real margin.
+        assert result.speedup_over(dataset, "SMiLer-Idx", "SMiLer-Dir") > 0.8
+
+        # Stability across k: the index time varies by far less than the
+        # k range itself (paper: "quite stable").
+        idx_times = np.asarray(result.times[dataset]["SMiLer-Idx"])
+        assert idx_times.max() / idx_times.min() < 2.0

@@ -1,0 +1,24 @@
+"""Fig. 8: time to compute LB_en — two-level index vs direct scan.
+
+Paper's claim: the index cuts LB_en computation time by more than an
+order of magnitude over SMiLer-Dir on every dataset.
+"""
+
+from repro.harness import SearchScale, run_fig8
+
+SCALE = SearchScale(n_sensors=2, n_points=20_000, continuous_steps=8)
+
+
+def test_fig8_lben_index_vs_direct(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_fig8(SCALE), rounds=1, iterations=1
+    )
+    report = result.render()
+    save_report("fig8_lben_index", report)
+    print("\n" + report)
+
+    for dataset, (index_s, direct_s) in result.times.items():
+        assert direct_s / index_s > 8.0, (
+            f"{dataset}: expected ~an order of magnitude, got "
+            f"{direct_s / index_s:.1f}x"
+        )

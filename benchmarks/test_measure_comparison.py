@@ -1,0 +1,30 @@
+"""Extension bench: similarity-measure shoot-out (Section 4's survey).
+
+The paper chooses banded DTW citing robustness evidence from the data
+mining literature.  On our smooth synthetic sensors the ranking between
+DTW and plain Euclidean is close (warping can even blur phase for
+1-step forecasting — recorded honestly in EXPERIMENTS.md); what is
+robust is that both dominate the edit-distance family (LCSS/EDR), whose
+match-counting discards the magnitudes forecasting needs.
+"""
+
+from repro.harness import run_measure_comparison
+
+
+def test_measure_comparison(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_measure_comparison(n_points=1500, steps=16),
+        rounds=1, iterations=1,
+    )
+    report = result.render()
+    save_report("measure_comparison", report)
+    print("\n" + report)
+
+    dtw = next(v for k, v in result.mae.items() if k.startswith("DTW"))
+    euclid = result.mae["Euclidean"]
+    # DTW and Euclidean are the serious contenders...
+    assert dtw < result.mae["LCSS"]
+    assert dtw < result.mae["EDR"]
+    assert euclid < result.mae["LCSS"]
+    # ...and neither is catastrophically behind the other.
+    assert dtw < 10 * euclid

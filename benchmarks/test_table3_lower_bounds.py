@@ -1,0 +1,35 @@
+"""Table 3: effect of the enhanced lower bound LB_en.
+
+Paper's claim: LB_en leaves roughly half the unfiltered candidates of
+LB_EQ and two-thirds of LB_EC, with verification time shrinking in
+proportion, on all three datasets.
+"""
+
+from repro.harness import SearchScale, run_table3
+
+SCALE = SearchScale(n_sensors=2, n_points=12_000, continuous_steps=8)
+
+
+def test_table3_enhanced_lower_bound(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: run_table3(SCALE), rounds=1, iterations=1
+    )
+    report = result.render()
+    save_report("table3_lower_bounds", report)
+    print("\n" + report)
+
+    for dataset, per_mode in result.data.items():
+        time_en, n_en = per_mode["en"]
+        time_eq, n_eq = per_mode["eq"]
+        time_ec, n_ec = per_mode["ec"]
+        # The enhanced bound never filters worse than either side...
+        assert n_en <= n_eq + 1e-9, dataset
+        assert n_en <= n_ec + 1e-9, dataset
+        assert time_en <= time_eq * 1.02, dataset
+        assert time_en <= time_ec * 1.02, dataset
+        # ...and strictly beats the weaker side somewhere (paper: ~50%).
+    improvements = [
+        per_mode["eq"][1] / max(per_mode["en"][1], 1e-9)
+        for per_mode in result.data.values()
+    ]
+    assert max(improvements) > 1.05

@@ -1,0 +1,36 @@
+"""SMiLer — a semi-lazy time series prediction system for sensors.
+
+Reproduction of Zhou & Tung, SIGMOD 2015.  The public API re-exports the
+pieces a downstream user needs:
+
+* :class:`repro.core.SMiLer` — the full system (search step + prediction
+  step + auto-tuning) for one sensor,
+* :class:`repro.core.SensorFleet` — many sensors processed the same way,
+* :mod:`repro.timeseries` — data containers and synthetic datasets,
+* :mod:`repro.dtw` / :mod:`repro.index` — the Suffix kNN search engine,
+* :mod:`repro.gp` — Gaussian Process stack (exact, sparse, variational),
+* :mod:`repro.baselines` — the paper's ten competitor forecasters.
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, core, dtw, gp, gpu, harness, index, metrics, timeseries
+from .core import SensorFleet, SMiLer, SMiLerConfig
+from .service import Forecast, PredictionService
+
+__all__ = [
+    "SMiLer",
+    "SMiLerConfig",
+    "SensorFleet",
+    "Forecast",
+    "PredictionService",
+    "baselines",
+    "core",
+    "dtw",
+    "gp",
+    "gpu",
+    "harness",
+    "index",
+    "metrics",
+    "timeseries",
+]

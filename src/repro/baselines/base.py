@@ -1,0 +1,94 @@
+"""Common forecaster interface for the paper's competitors (Section 6.3.1).
+
+Every competitor — offline (eager) or online — implements the same
+protocol so the experiment harness can drive them uniformly through
+continuous prediction:
+
+* :meth:`BaseForecaster.fit` — one-time training on the sensor's history
+  (offline models learn their mapping here; online models at most warm
+  up internal state),
+* :meth:`BaseForecaster.predict` — h-step-ahead Gaussian prediction
+  ``(mean, variance)`` given the observations so far,
+* :meth:`BaseForecaster.observe` — feed the newly revealed true value
+  (online models update; offline models ignore it).
+
+Predictions are Gaussian because the paper scores MNLPD, the negative
+log density of the truth under a normal predictive distribution; models
+without an innate variance report a residual-based estimate (as the
+paper does for SVR via libSVM's residual fit).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["BaseForecaster", "ResidualVariance"]
+
+
+class BaseForecaster(ABC):
+    """Abstract h-step-ahead Gaussian forecaster."""
+
+    #: Display name used in experiment tables (matches the paper).
+    name: str = "forecaster"
+    #: Whether the model has an offline training phase (Table 4 groups).
+    is_offline: bool = False
+
+    def fit(self, history: np.ndarray) -> "BaseForecaster":
+        """Train on the historical stream (oldest first)."""
+        return self
+
+    @abstractmethod
+    def predict(self, context: np.ndarray, horizon: int) -> tuple[float, float]:
+        """Gaussian prediction of the value ``horizon`` steps ahead.
+
+        ``context`` is the full observation stream up to "now" (training
+        history plus any revealed test points).
+        """
+
+    def observe(self, value: float) -> None:
+        """Consume the newly revealed true value (online models only)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ResidualVariance:
+    """Running residual-variance tracker for models without innate variance.
+
+    The paper estimates SVR confidence by fitting a distribution to
+    training residuals (libSVM's method [19]); we keep the analogous
+    Gaussian estimate, optionally exponentially weighted so online models
+    adapt to drift.
+    """
+
+    def __init__(self, decay: float | None = None, floor: float = 1e-6) -> None:
+        if decay is not None and not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        self.decay = decay
+        self.floor = floor
+        self._sum_sq = 0.0
+        self._count = 0.0
+
+    def update(self, residual: float) -> None:
+        """Incorporate one new observation."""
+        sq = float(residual) ** 2
+        if self.decay is None:
+            self._sum_sq += sq
+            self._count += 1.0
+        else:
+            self._sum_sq = self.decay * self._sum_sq + (1.0 - self.decay) * sq
+            self._count = self.decay * self._count + (1.0 - self.decay)
+
+    def update_many(self, residuals: np.ndarray) -> None:
+        """Incorporate several residuals at once."""
+        for r in np.asarray(residuals, dtype=np.float64).ravel():
+            self.update(r)
+
+    @property
+    def variance(self) -> float:
+        """Current variance estimate."""
+        if self._count <= 0:
+            return 1.0  # uninformed prior: unit variance (z-normed data)
+        return max(self._sum_sq / self._count, self.floor)

@@ -1,0 +1,173 @@
+"""Exponential smoothing baselines: SES and Holt's linear trend ([71, 38]).
+
+The nonlinear statistical-regression family of the paper's related work
+(Holt-Winters, its seasonal member, lives in
+:mod:`repro.baselines.holt_winters`).  Both models here fit their
+smoothing parameters by one-step SSE minimisation and provide the
+standard h-step forecast variance so MNLPD can be scored:
+
+* **SES** — ``var_h = sigma^2 (1 + (h-1) alpha^2)``,
+* **Holt** — ``var_h = sigma^2 (1 + sum_{j<h} (alpha + j alpha beta)^2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gp.optimize import nelder_mead_minimize
+from .base import BaseForecaster
+
+__all__ = [
+    "SimpleExponentialSmoothing",
+    "HoltLinearTrend",
+    "ExponentialSmoothingForecaster",
+]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30, 30)))
+
+
+@dataclass(frozen=True)
+class SimpleExponentialSmoothing:
+    """Fitted SES state: one smoothed level."""
+
+    alpha: float
+    level: float
+    residual_variance: float
+
+    def forecast(self, horizon: int) -> tuple[float, float]:
+        """h-step-ahead Gaussian forecast from the fitted state."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        variance = self.residual_variance * (
+            1.0 + (horizon - 1) * self.alpha**2
+        )
+        return self.level, max(variance, 1e-12)
+
+    @classmethod
+    def fit(cls, values: np.ndarray, max_iters: int = 40) -> "SimpleExponentialSmoothing":
+        """Train on the historical stream (see BaseForecaster.fit)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size < 3:
+            raise ValueError(f"need at least 3 points, got {values.size}")
+
+        def run(alpha: float) -> tuple[float, float]:
+            level = values[0]
+            sse = 0.0
+            for y in values[1:]:
+                error = y - level
+                sse += error * error
+                level += alpha * error
+            return level, sse / (values.size - 1)
+
+        result = nelder_mead_minimize(
+            lambda z: run(float(_sigmoid(z)[0]))[1],
+            np.array([0.0]),
+            max_iters=max_iters,
+        )
+        alpha = float(_sigmoid(result.x)[0])
+        level, variance = run(alpha)
+        return cls(alpha=alpha, level=level, residual_variance=max(variance, 1e-12))
+
+
+@dataclass(frozen=True)
+class HoltLinearTrend:
+    """Fitted Holt (double exponential smoothing) state."""
+
+    alpha: float
+    beta: float
+    level: float
+    trend: float
+    residual_variance: float
+
+    def forecast(self, horizon: int) -> tuple[float, float]:
+        """h-step-ahead Gaussian forecast from the fitted state."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        mean = self.level + horizon * self.trend
+        js = np.arange(1, horizon)
+        c = self.alpha * (1.0 + js * self.beta)
+        variance = self.residual_variance * (1.0 + float(np.sum(c**2)))
+        return float(mean), max(variance, 1e-12)
+
+    @classmethod
+    def fit(cls, values: np.ndarray, max_iters: int = 60) -> "HoltLinearTrend":
+        """Train on the historical stream (see BaseForecaster.fit)."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size < 4:
+            raise ValueError(f"need at least 4 points, got {values.size}")
+
+        def run(alpha: float, beta: float) -> tuple[float, float, float]:
+            level = values[0]
+            trend = values[1] - values[0]
+            sse = 0.0
+            for y in values[1:]:
+                forecast = level + trend
+                error = y - forecast
+                sse += error * error
+                new_level = forecast + alpha * error
+                trend = beta * (new_level - level) + (1 - beta) * trend
+                level = new_level
+            return level, trend, sse / (values.size - 1)
+
+        def objective(z: np.ndarray) -> float:
+            alpha, beta = _sigmoid(z)
+            return run(float(alpha), float(beta))[2]
+
+        result = nelder_mead_minimize(
+            objective, np.array([0.0, -2.0]), max_iters=max_iters
+        )
+        alpha, beta = (float(v) for v in _sigmoid(result.x))
+        level, trend, variance = run(alpha, beta)
+        return cls(
+            alpha=alpha, beta=beta, level=level, trend=trend,
+            residual_variance=max(variance, 1e-12),
+        )
+
+
+class ExponentialSmoothingForecaster(BaseForecaster):
+    """SES (``trend=False``) or Holt (``trend=True``) behind the protocol.
+
+    Refits on the trailing ``window`` points every ``refit_every``
+    predictions, forecasting across the points observed since the last
+    refit (same bookkeeping as the Holt-Winters wrapper).
+    """
+
+    is_offline = False
+
+    def __init__(
+        self,
+        trend: bool = False,
+        window: int | None = None,
+        refit_every: int = 1,
+    ) -> None:
+        if window is not None and window < 8:
+            raise ValueError(f"window must cover at least 8 points, got {window}")
+        if refit_every <= 0:
+            raise ValueError(f"refit_every must be positive, got {refit_every}")
+        self.trend = trend
+        self.window = window
+        self.refit_every = refit_every
+        self.name = "Holt" if trend else "SES"
+        self._model = None
+        self._since_fit = 0
+        self._pending = 0
+
+    def predict(self, context: np.ndarray, horizon: int) -> tuple[float, float]:
+        """Gaussian h-step-ahead prediction (see BaseForecaster.predict)."""
+        context = np.asarray(context, dtype=np.float64)
+        if self._model is None or self._since_fit >= self.refit_every:
+            data = context if self.window is None else context[-self.window :]
+            fitter = HoltLinearTrend if self.trend else SimpleExponentialSmoothing
+            self._model = fitter.fit(data)
+            self._since_fit = 0
+            self._pending = 0
+        return self._model.forecast(horizon + self._pending)
+
+    def observe(self, value: float) -> None:
+        """Consume the newly revealed true value (see BaseForecaster.observe)."""
+        self._since_fit += 1
+        self._pending += 1

@@ -1,0 +1,103 @@
+"""Offline (eager) GP baselines: PSGP and VLGP forecaster wrappers.
+
+Both train one sparse GP per horizon on the segment/target pairs of the
+whole history — the eager-learning regime whose training cost Table 4
+and Fig. 13 expose.  To keep the O(n m^2 · iters · |horizons|) training
+bill at laptop scale the history can be subsampled (``max_train``),
+which only *helps* these baselines' reported training time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gp.sparse import ProjectedSparseGP
+from ..gp.variational import VariationalSparseGP
+from ..timeseries.series import segment_matrix
+from .base import BaseForecaster
+
+__all__ = ["PSGPForecaster", "VLGPForecaster"]
+
+
+class _SparseGPForecaster(BaseForecaster):
+    """Shared plumbing for the two sparse-GP competitors."""
+
+    is_offline = True
+
+    def __init__(
+        self,
+        segment_length: int = 64,
+        horizons: tuple[int, ...] = (1,),
+        n_support: int = 32,
+        train_iters: int = 30,
+        max_train: int | None = 2000,
+        seed: int = 0,
+    ) -> None:
+        if segment_length <= 0:
+            raise ValueError(f"segment_length must be positive, got {segment_length}")
+        self.segment_length = segment_length
+        self.horizons = tuple(sorted(set(int(h) for h in horizons)))
+        if not self.horizons or self.horizons[0] <= 0:
+            raise ValueError(f"horizons must be positive, got {horizons}")
+        self.n_support = n_support
+        self.train_iters = train_iters
+        self.max_train = max_train
+        self.seed = seed
+        self._models: dict[int, object] = {}
+
+    def _make_model(self, seed: int):
+        raise NotImplementedError
+
+    def fit(self, history: np.ndarray) -> "_SparseGPForecaster":
+        """Train on the historical stream (see BaseForecaster.fit)."""
+        history = np.asarray(history, dtype=np.float64)
+        for h in self.horizons:
+            x, y, _ = segment_matrix(history, self.segment_length, h)
+            if self.max_train is not None and x.shape[0] > self.max_train:
+                rng = np.random.default_rng(self.seed + h)
+                idx = np.sort(
+                    rng.choice(x.shape[0], size=self.max_train, replace=False)
+                )
+                x, y = x[idx], y[idx]
+            model = self._make_model(self.seed + h)
+            model.fit(x, y)
+            self._models[h] = model
+        return self
+
+    def predict(self, context: np.ndarray, horizon: int) -> tuple[float, float]:
+        """Gaussian h-step-ahead prediction (see BaseForecaster.predict)."""
+        if horizon not in self._models:
+            raise KeyError(
+                f"horizon {horizon} not trained; available: {self.horizons}"
+            )
+        context = np.asarray(context, dtype=np.float64)
+        if context.size < self.segment_length:
+            raise ValueError(
+                f"context of length {context.size} shorter than segment "
+                f"length {self.segment_length}"
+            )
+        segment = context[-self.segment_length :][None, :]
+        mean, var = self._models[horizon].predict(segment, include_noise=True)
+        return float(mean[0]), float(var[0])
+
+
+class PSGPForecaster(_SparseGPForecaster):
+    """Projected sparse GP (active-point projection [9, 25])."""
+
+    name = "PSGP"
+
+    def _make_model(self, seed: int) -> ProjectedSparseGP:
+        return ProjectedSparseGP(
+            n_active=self.n_support, train_iters=self.train_iters, seed=seed
+        )
+
+
+class VLGPForecaster(_SparseGPForecaster):
+    """Variational sparse GP (Titsias inducing inputs [65])."""
+
+    name = "VLGP"
+
+    def _make_model(self, seed: int) -> VariationalSparseGP:
+        return VariationalSparseGP(
+            n_inducing=self.n_support, train_iters=self.train_iters, seed=seed
+        )

@@ -1,0 +1,86 @@
+"""Grid search with k-fold cross-validation (Section 6.3.1).
+
+The paper tunes NysSVR / SgdSVR / SgdRR (and the online variants' warm-up
+phase) by grid search over 10-fold cross-validation.  The utility here is
+model-agnostic: a factory builds a fresh estimator per parameter
+combination, folds are contiguous blocks (sensible for time series — no
+shuffling across time), and the squared error on the held-out fold is
+averaged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["GridSearchResult", "grid_search_cv", "kfold_slices"]
+
+
+def kfold_slices(n: int, n_folds: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Contiguous k-fold (train_idx, test_idx) pairs over ``range(n)``."""
+    if n_folds < 2:
+        raise ValueError(f"need at least 2 folds, got {n_folds}")
+    if n < n_folds:
+        raise ValueError(f"cannot split {n} samples into {n_folds} folds")
+    indices = np.arange(n)
+    bounds = np.linspace(0, n, n_folds + 1).astype(int)
+    folds = []
+    for f in range(n_folds):
+        test = indices[bounds[f] : bounds[f + 1]]
+        train = np.concatenate([indices[: bounds[f]], indices[bounds[f + 1] :]])
+        folds.append((train, test))
+    return folds
+
+
+@dataclass
+class GridSearchResult:
+    """Winning parameters and the full score table."""
+
+    best_params: dict
+    best_score: float
+    scores: dict[tuple, float]
+
+
+def grid_search_cv(
+    factory: Callable[..., object],
+    param_grid: dict[str, list],
+    x: np.ndarray,
+    y: np.ndarray,
+    n_folds: int = 10,
+    fit_kwargs: dict | None = None,
+) -> GridSearchResult:
+    """Exhaustive grid search minimising k-fold mean squared error.
+
+    ``factory(**params)`` must return an estimator with ``fit(x, y)`` and
+    ``predict(x)``.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape[0] != y.size:
+        raise ValueError(f"{x.shape[0]} inputs but {y.size} targets")
+    if not param_grid:
+        raise ValueError("param_grid must not be empty")
+    fit_kwargs = fit_kwargs or {}
+
+    names = sorted(param_grid)
+    folds = kfold_slices(y.size, n_folds)
+    scores: dict[tuple, float] = {}
+    best_key: tuple | None = None
+    for combo in itertools.product(*(param_grid[n] for n in names)):
+        params = dict(zip(names, combo))
+        fold_errors = []
+        for train_idx, test_idx in folds:
+            model = factory(**params)
+            model.fit(x[train_idx], y[train_idx], **fit_kwargs)
+            pred = np.asarray(model.predict(x[test_idx])).ravel()
+            fold_errors.append(float(np.mean((pred - y[test_idx]) ** 2)))
+        scores[combo] = float(np.mean(fold_errors))
+        if best_key is None or scores[combo] < scores[best_key]:
+            best_key = combo
+    best_params = dict(zip(names, best_key))
+    return GridSearchResult(
+        best_params=best_params, best_score=scores[best_key], scores=scores
+    )

@@ -1,0 +1,122 @@
+"""Naive reference forecasters: persistence, mean, drift, seasonal naive.
+
+Every forecasting comparison needs the no-skill floor.  These four are
+the standard references (Hyndman & Athanasopoulos' taxonomy); a method
+that cannot beat the right naive baseline on a dataset has learned
+nothing.  All four provide the textbook h-step forecast variances so
+MNLPD can be scored:
+
+* **Persistence** (random-walk): ``y_hat = y_t``, ``var_h = sigma^2 h``,
+* **Mean**: the historical mean with its residual variance,
+* **Drift**: the line through the first and last observation,
+* **SeasonalNaive**: the value one season ago,
+  ``var_h = sigma^2 (floor((h-1)/m) + 1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseForecaster
+
+__all__ = [
+    "PersistenceForecaster",
+    "MeanForecaster",
+    "DriftForecaster",
+    "SeasonalNaiveForecaster",
+]
+
+
+def _differenced_variance(values: np.ndarray, lag: int) -> float:
+    """Variance of the lag-differenced series (the naive residuals)."""
+    if values.size <= lag:
+        raise ValueError(
+            f"need more than {lag} points, got {values.size}"
+        )
+    diffs = values[lag:] - values[:-lag]
+    return max(float(np.mean(diffs**2)), 1e-12)
+
+
+class PersistenceForecaster(BaseForecaster):
+    """Random-walk forecast: the last observed value."""
+
+    name = "Persistence"
+    is_offline = False
+
+    def predict(self, context: np.ndarray, horizon: int) -> tuple[float, float]:
+        """Gaussian h-step-ahead prediction (see BaseForecaster.predict)."""
+        context = np.asarray(context, dtype=np.float64)
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if context.size < 2:
+            raise ValueError("need at least 2 observations")
+        sigma_sq = _differenced_variance(context, 1)
+        return float(context[-1]), sigma_sq * horizon
+
+
+class MeanForecaster(BaseForecaster):
+    """Historical mean with its residual variance."""
+
+    name = "Mean"
+    is_offline = False
+
+    def predict(self, context: np.ndarray, horizon: int) -> tuple[float, float]:
+        """Gaussian h-step-ahead prediction (see BaseForecaster.predict)."""
+        context = np.asarray(context, dtype=np.float64)
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if context.size < 2:
+            raise ValueError("need at least 2 observations")
+        mean = float(context.mean())
+        n = context.size
+        residual = max(float(np.mean((context - mean) ** 2)), 1e-12)
+        return mean, residual * (1.0 + 1.0 / n)
+
+
+class DriftForecaster(BaseForecaster):
+    """Extrapolate the average historical slope (first-to-last line)."""
+
+    name = "Drift"
+    is_offline = False
+
+    def predict(self, context: np.ndarray, horizon: int) -> tuple[float, float]:
+        """Gaussian h-step-ahead prediction (see BaseForecaster.predict)."""
+        context = np.asarray(context, dtype=np.float64)
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if context.size < 3:
+            raise ValueError("need at least 3 observations")
+        n = context.size
+        slope = (float(context[-1]) - float(context[0])) / (n - 1)
+        sigma_sq = _differenced_variance(context, 1)
+        variance = sigma_sq * horizon * (1.0 + horizon / (n - 1))
+        return float(context[-1]) + slope * horizon, max(variance, 1e-12)
+
+
+class SeasonalNaiveForecaster(BaseForecaster):
+    """The value one seasonal period ago (m-step random walk)."""
+
+    is_offline = False
+
+    def __init__(self, period: int) -> None:
+        if period <= 1:
+            raise ValueError(f"period must exceed 1, got {period}")
+        self.period = period
+        self.name = f"SeasonalNaive({period})"
+
+    def predict(self, context: np.ndarray, horizon: int) -> tuple[float, float]:
+        """Gaussian h-step-ahead prediction (see BaseForecaster.predict)."""
+        context = np.asarray(context, dtype=np.float64)
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        m = self.period
+        if context.size < 2 * m:
+            raise ValueError(
+                f"need at least two periods ({2 * m} points), got {context.size}"
+            )
+        # Target slot: h steps past the end, mapped one period back.
+        offset = ((horizon - 1) % m) + 1
+        value = float(context[context.size - m + offset - 1])
+        sigma_sq = _differenced_variance(context, m)
+        k = (horizon - 1) // m + 1
+        return value, sigma_sq * k

@@ -1,0 +1,254 @@
+"""Linear models with stochastic gradient descent (SgdSVR/SgdRR and the
+online one-pass variants, Section 6.3.1).
+
+* **SgdSVR** — linear ε-insensitive support vector regression trained by
+  SGD [75],
+* **SgdRR** — robust (Huber-loss) linear regression [59] by SGD,
+* **OnlineSVR / OnlineRR** — the same losses trained in a one-pass
+  online fashion [14], continuing to update as test values arrive.
+
+All four map the d-length trailing segment to the h-step-ahead value,
+one weight vector per horizon, with Gaussian predictive variance from
+training/online residuals (the libSVM-style confidence estimate the
+paper uses for SVR).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timeseries.series import segment_matrix
+from .base import BaseForecaster, ResidualVariance
+
+__all__ = [
+    "LinearSGDRegressor",
+    "SgdSVRForecaster",
+    "SgdRRForecaster",
+    "OnlineSVRForecaster",
+    "OnlineRRForecaster",
+]
+
+
+def _loss_gradient(loss: str, residual: float, epsilon: float) -> float:
+    """d(loss)/d(prediction) for one sample (residual = pred - target)."""
+    if loss == "epsilon_insensitive":
+        if residual > epsilon:
+            return 1.0
+        if residual < -epsilon:
+            return -1.0
+        return 0.0
+    if loss == "huber":
+        if residual > epsilon:
+            return epsilon
+        if residual < -epsilon:
+            return -epsilon
+        return residual
+    raise ValueError(f"unknown loss {loss!r}")
+
+
+class LinearSGDRegressor:
+    """Plain linear model ``w @ x + b`` trained by SGD.
+
+    Learning rate follows the classic ``eta0 / (1 + eta0 * l2 * t)``
+    schedule; weights carry L2 regularisation.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        loss: str = "epsilon_insensitive",
+        epsilon: float = 0.1,
+        eta0: float = 0.05,
+        l2: float = 1e-5,
+        seed: int = 0,
+    ) -> None:
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        _loss_gradient(loss, 0.0, epsilon)  # validate the loss name early
+        self.loss = loss
+        self.epsilon = epsilon
+        self.eta0 = eta0
+        self.l2 = l2
+        self.weights = np.zeros(n_features)
+        self.bias = 0.0
+        self._t = 0
+        self._rng = np.random.default_rng(seed)
+
+    def _learning_rate(self) -> float:
+        return self.eta0 / (1.0 + self.eta0 * max(self.l2, 1e-8) * self._t)
+
+    def partial_fit(self, x: np.ndarray, y: float) -> float:
+        """One SGD step; returns the pre-update residual ``pred - y``.
+
+        The step is normalised by ``1 + ||x||^2`` (normalised SGD), which
+        keeps updates bounded regardless of the feature scale — raw
+        time-series segments are not unit-normalised.
+        """
+        x = np.asarray(x, dtype=np.float64).ravel()
+        pred = float(self.weights @ x + self.bias)
+        residual = pred - float(y)
+        grad_out = _loss_gradient(self.loss, residual, self.epsilon)
+        lr = self._learning_rate() / (1.0 + float(x @ x))
+        self.weights *= 1.0 - lr * self.l2
+        if grad_out != 0.0:
+            self.weights -= lr * grad_out * x
+            self.bias -= lr * grad_out
+        self._t += 1
+        return residual
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int = 5) -> "LinearSGDRegressor":
+        """Multi-epoch SGD with per-epoch shuffling."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.shape[0] != y.size:
+            raise ValueError(f"{x.shape[0]} inputs but {y.size} targets")
+        for _ in range(epochs):
+            order = self._rng.permutation(y.size)
+            for i in order:
+                self.partial_fit(x[i], y[i])
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Gaussian h-step-ahead prediction (see BaseForecaster.predict)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return x @ self.weights + self.bias
+
+
+class _LinearSegmentForecaster(BaseForecaster):
+    """Shared plumbing: one linear model per horizon over d-segments."""
+
+    def __init__(
+        self,
+        segment_length: int = 64,
+        horizons: tuple[int, ...] = (1,),
+        loss: str = "epsilon_insensitive",
+        epsilon: float = 0.1,
+        eta0: float = 0.05,
+        l2: float = 1e-5,
+        epochs: int = 5,
+        online: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if segment_length <= 0:
+            raise ValueError(f"segment_length must be positive, got {segment_length}")
+        if not horizons:
+            raise ValueError("at least one horizon is required")
+        self.segment_length = segment_length
+        self.horizons = tuple(sorted(set(int(h) for h in horizons)))
+        if self.horizons[0] <= 0:
+            raise ValueError(f"horizons must be positive, got {horizons}")
+        self.online = online
+        self.epochs = epochs
+        self._models = {
+            h: LinearSGDRegressor(
+                segment_length, loss=loss, epsilon=epsilon, eta0=eta0,
+                l2=l2, seed=seed + h,
+            )
+            for h in self.horizons
+        }
+        self._variance = {
+            h: ResidualVariance(decay=0.99 if online else None)
+            for h in self.horizons
+        }
+        self._buffer: list[float] = []
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, history: np.ndarray) -> "_LinearSegmentForecaster":
+        """Train on the historical stream (see BaseForecaster.fit)."""
+        history = np.asarray(history, dtype=np.float64)
+        for h in self.horizons:
+            x, y, _ = segment_matrix(history, self.segment_length, h)
+            model = self._models[h]
+            if self.online:
+                # One sequential pass, oldest to newest ([14]).
+                for i in range(y.size):
+                    residual = model.partial_fit(x[i], y[i])
+                    self._variance[h].update(residual)
+            else:
+                model.fit(x, y, epochs=self.epochs)
+                residuals = model.predict(x) - y
+                self._variance[h].update_many(residuals)
+        self._buffer = list(history[-(self.segment_length + max(self.horizons)) :])
+        return self
+
+    # -------------------------------------------------------------- predict
+    def predict(self, context: np.ndarray, horizon: int) -> tuple[float, float]:
+        """Gaussian h-step-ahead prediction (see BaseForecaster.predict)."""
+        if horizon not in self._models:
+            raise KeyError(
+                f"horizon {horizon} not trained; available: {self.horizons}"
+            )
+        context = np.asarray(context, dtype=np.float64)
+        if context.size < self.segment_length:
+            raise ValueError(
+                f"context of length {context.size} shorter than segment "
+                f"length {self.segment_length}"
+            )
+        segment = context[-self.segment_length :]
+        mean = float(self._models[horizon].predict(segment[None, :])[0])
+        return mean, self._variance[horizon].variance
+
+    # -------------------------------------------------------------- observe
+    def observe(self, value: float) -> None:
+        """Consume the newly revealed true value (see BaseForecaster.observe)."""
+        if not self.online:
+            return
+        self._buffer.append(float(value))
+        needed = self.segment_length + max(self.horizons)
+        if len(self._buffer) > 4 * needed:
+            self._buffer = self._buffer[-2 * needed :]
+        buf = np.asarray(self._buffer)
+        for h in self.horizons:
+            # The pair that just became complete: the segment ending
+            # h steps ago with the new value as its target.
+            if buf.size < self.segment_length + h:
+                continue
+            segment = buf[-(self.segment_length + h) : buf.size - h]
+            residual = self._models[h].partial_fit(segment, value)
+            self._variance[h].update(residual)
+
+
+class SgdSVRForecaster(_LinearSegmentForecaster):
+    """Offline linear ε-SVR trained by multi-epoch SGD [75]."""
+
+    name = "SgdSVR"
+    is_offline = True
+
+    def __init__(self, segment_length=64, horizons=(1,), **kwargs):
+        kwargs.setdefault("loss", "epsilon_insensitive")
+        super().__init__(segment_length, horizons, online=False, **kwargs)
+
+
+class SgdRRForecaster(_LinearSegmentForecaster):
+    """Offline robust (Huber) regression trained by multi-epoch SGD [59]."""
+
+    name = "SgdRR"
+    is_offline = True
+
+    def __init__(self, segment_length=64, horizons=(1,), **kwargs):
+        kwargs.setdefault("loss", "huber")
+        kwargs.setdefault("epsilon", 1.0)
+        super().__init__(segment_length, horizons, online=False, **kwargs)
+
+
+class OnlineSVRForecaster(_LinearSegmentForecaster):
+    """One-pass online ε-SVR, updating as test values arrive [14]."""
+
+    name = "OnlineSVR"
+    is_offline = False
+
+    def __init__(self, segment_length=64, horizons=(1,), **kwargs):
+        kwargs.setdefault("loss", "epsilon_insensitive")
+        super().__init__(segment_length, horizons, online=True, **kwargs)
+
+
+class OnlineRRForecaster(_LinearSegmentForecaster):
+    """One-pass online Huber regression, updating on arrival [14]."""
+
+    name = "OnlineRR"
+    is_offline = False
+
+    def __init__(self, segment_length=64, horizons=(1,), **kwargs):
+        kwargs.setdefault("loss", "huber")
+        kwargs.setdefault("epsilon", 1.0)
+        super().__init__(segment_length, horizons, online=True, **kwargs)

@@ -1,0 +1,166 @@
+"""Command-line interface: regenerate any paper table/figure or run a demo.
+
+Usage (installed as the ``repro`` package)::
+
+    python -m repro.cli list
+    python -m repro.cli run fig8 --preset small
+    python -m repro.cli run table3 --preset paper --out results/table3.txt
+    python -m repro.cli demo --dataset MALL --steps 20
+
+Presets scale the synthetic workloads: ``tiny`` (seconds, CI-friendly),
+``small`` (the benchmark defaults), ``paper`` (hours; closest to the
+paper's data sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from . import harness
+from .core import SMiLer, SMiLerConfig
+from .harness import AccuracyScale, SearchScale
+from .timeseries import make_dataset
+
+__all__ = ["main", "EXPERIMENTS"]
+
+_SEARCH_PRESETS = {
+    "tiny": SearchScale(n_sensors=1, n_points=1500, continuous_steps=3),
+    "small": SearchScale(n_sensors=2, n_points=12_000, continuous_steps=8),
+    "paper": SearchScale(n_sensors=8, n_points=60_000, continuous_steps=100),
+}
+_ACCURACY_PRESETS = {
+    "tiny": AccuracyScale(
+        n_sensors=1, n_points=1500, test_points=30, steps=15, horizons=(1, 5)
+    ),
+    "small": AccuracyScale(
+        n_sensors=2, n_points=4000, test_points=140, steps=110,
+        horizons=(1, 5, 10, 20, 30),
+    ),
+    "paper": AccuracyScale(
+        n_sensors=8, n_points=40_000, test_points=1000, steps=200,
+        horizons=(1, 5, 10, 15, 20, 25, 30),
+    ),
+}
+
+#: experiment name -> (driver attribute, which preset family it takes)
+EXPERIMENTS = {
+    "fig1": ("render_fig1", None),
+    "table3": ("run_table3", "search"),
+    "fig7": ("run_fig7", "search"),
+    "fig8": ("run_fig8", "search"),
+    "fig9": ("run_fig9", "accuracy"),
+    "fig10": ("run_fig10", "accuracy"),
+    "fig11": ("run_fig11", "accuracy"),
+    "table4": ("run_table4", "accuracy"),
+    "fig12": ("run_fig12", "accuracy"),
+    "fig13": ("run_fig13", "accuracy"),
+    "ablation-warmstart": ("run_warmstart_ablation", "accuracy"),
+    "ablation-threshold": ("run_threshold_reuse_ablation", "search"),
+    "ablation-window": ("run_window_reuse_ablation", "search"),
+    "ablation-parameters": ("run_parameter_sensitivity", "search"),
+    "ablation-history": ("run_history_tradeoff", "accuracy"),
+    "calibration": ("run_calibration_study", "accuracy"),
+    "measures": ("run_measure_comparison", None),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMiLer (SIGMOD'15) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="regenerate one table/figure")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument(
+        "--preset", choices=("tiny", "small", "paper"), default="small",
+        help="workload size (default: small)",
+    )
+    run.add_argument("--out", type=pathlib.Path, help="also write to this file")
+
+    run_all = sub.add_parser(
+        "run-all", help="regenerate every table/figure into a directory"
+    )
+    run_all.add_argument(
+        "--preset", choices=("tiny", "small", "paper"), default="small",
+    )
+    run_all.add_argument(
+        "--out-dir", type=pathlib.Path, default=pathlib.Path("results"),
+    )
+
+    demo = sub.add_parser("demo", help="continuous prediction on one sensor")
+    demo.add_argument("--dataset", default="ROAD", help="ROAD, MALL or NET")
+    demo.add_argument("--steps", type=int, default=20)
+    demo.add_argument(
+        "--predictor", choices=("gp", "ar"), default="gp",
+    )
+    return parser
+
+
+def _run_experiment(name: str, preset: str) -> str:
+    driver_name, family = EXPERIMENTS[name]
+    driver = getattr(harness, driver_name)
+    if family is None:
+        result = driver()
+    elif family == "search":
+        result = driver(_SEARCH_PRESETS[preset])
+    else:
+        result = driver(_ACCURACY_PRESETS[preset])
+    return result.render() if hasattr(result, "render") else result
+
+
+def _run_demo(dataset: str, steps: int, predictor: str) -> str:
+    if steps <= 0:
+        raise SystemExit("--steps must be positive")
+    ds = make_dataset(
+        dataset, n_sensors=1, n_points=3000, test_points=max(steps, 8)
+    )
+    history, tail = ds.sensor(0)
+    smiler = SMiLer(history.values, SMiLerConfig(predictor=predictor))
+    lines = [f"{dataset.upper()} sensor, SMiLer-{predictor.upper()}, "
+             f"{steps} continuous steps", "step  prediction   truth"]
+    for step in range(steps):
+        output = smiler.predict()[1]
+        truth = float(tail[step])
+        lines.append(f"{step:4d}   {output.mean:+8.4f}  {truth:+8.4f}")
+        smiler.observe(truth)
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.command == "run":
+        report = _run_experiment(args.experiment, args.preset)
+        print(report)
+        if args.out:
+            args.out.parent.mkdir(parents=True, exist_ok=True)
+            args.out.write_text(report + "\n")
+        return 0
+    if args.command == "run-all":
+        args.out_dir.mkdir(parents=True, exist_ok=True)
+        for name in sorted(EXPERIMENTS):
+            print(f"== {name} ({args.preset}) ==", flush=True)
+            report = _run_experiment(name, args.preset)
+            print(report)
+            (args.out_dir / f"{name.replace('-', '_')}.txt").write_text(
+                report + "\n"
+            )
+        return 0
+    if args.command == "demo":
+        print(_run_demo(args.dataset, args.steps, args.predictor))
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

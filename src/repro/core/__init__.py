@@ -1,0 +1,28 @@
+"""SMiLer core: semi-lazy predictors, ensemble auto-tuning, system facade."""
+
+from .ar import AggregationPredictor
+from .config import SMiLerConfig
+from .ensemble import AdaptiveEnsemble, Cell, CellState, EnsembleOutput
+from .gp_predictor import GaussianProcessPredictor
+from .persistence import load_smiler, save_smiler
+from .predictor import GaussianPrediction, SemiLazyPredictor
+from .scaleout import MultiGpuFleet, truncate_history
+from .smiler import SensorFleet, SMiLer
+
+__all__ = [
+    "AggregationPredictor",
+    "SMiLerConfig",
+    "AdaptiveEnsemble",
+    "Cell",
+    "CellState",
+    "EnsembleOutput",
+    "GaussianProcessPredictor",
+    "GaussianPrediction",
+    "load_smiler",
+    "save_smiler",
+    "MultiGpuFleet",
+    "truncate_history",
+    "SemiLazyPredictor",
+    "SensorFleet",
+    "SMiLer",
+]

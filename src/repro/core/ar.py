@@ -1,0 +1,33 @@
+"""Aggregation Regression predictor (SMiLer-AR, Section 5.2.1).
+
+The simple instantiation of the abstract predictor: pseudo-mean and
+pseudo-variance of the neighbours' h-step-ahead values (Eqns. 10-13).
+Cheap and surprisingly accurate on seasonal data, but — as the paper's
+MNLPD plots show — its variance is not a calibrated posterior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .predictor import GaussianPrediction, SemiLazyPredictor
+
+__all__ = ["AggregationPredictor"]
+
+
+class AggregationPredictor(SemiLazyPredictor):
+    """Eqns. 10-13: plain average + biased variance of the kNN targets."""
+
+    def __init__(self, variance_floor: float = 1e-8) -> None:
+        if variance_floor <= 0:
+            raise ValueError(f"variance_floor must be positive, got {variance_floor}")
+        self.variance_floor = variance_floor
+
+    def predict(
+        self, query: np.ndarray, neighbours: np.ndarray, targets: np.ndarray
+    ) -> GaussianPrediction:
+        """Gaussian h-step-ahead prediction (see BaseForecaster.predict)."""
+        _, _, targets = self._validate(query, neighbours, targets)
+        mean = float(targets.mean())
+        variance = float(np.mean((targets - mean) ** 2))
+        return GaussianPrediction(mean, max(variance, self.variance_floor))

@@ -1,0 +1,137 @@
+"""Saving and restoring SMiLer state across process restarts.
+
+A deployed SMiLer instance carries state worth keeping: the accrued
+history, each horizon's auto-tuned ensemble matrix (weights, sleep
+scheduler) and every GP cell's warm-started hyperparameters.  This
+module serialises all of it to a single ``.npz`` archive.
+
+The search index itself is *rebuilt* from the stored history on load —
+it is a deterministic function of the series and configuration, and
+rebuilding (one vectorised pass) is cheaper and far less error-prone
+than serialising ring-buffer internals.  The restored instance therefore
+predicts identically up to the index's stale-envelope slack, which tests
+pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from .config import SMiLerConfig
+from .gp_predictor import GaussianProcessPredictor
+from .smiler import SMiLer
+
+__all__ = ["save_smiler", "load_smiler"]
+
+_FORMAT_VERSION = 1
+
+
+def _cell_key(horizon: int, cell: tuple[int, int]) -> str:
+    return f"h{horizon}_k{cell[0]}_d{cell[1]}"
+
+
+def save_smiler(smiler: SMiLer, path) -> None:
+    """Serialise a SMiLer instance to ``path`` (``.npz`` archive)."""
+    path = pathlib.Path(path)
+    config = smiler.config
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "sensor_id": smiler.sensor_id,
+        "config": {
+            "elv": list(config.elv),
+            "ekv": list(config.ekv),
+            "rho": config.rho,
+            "omega": config.omega,
+            "horizons": list(config.horizons),
+            "predictor": config.predictor,
+            "ensemble": config.ensemble,
+            "self_adaptive": config.self_adaptive,
+            "sleep_enabled": config.sleep_enabled,
+            "initial_train_iters": config.initial_train_iters,
+            "online_train_iters": config.online_train_iters,
+            "single_k": config.single_k,
+            "single_d": config.single_d,
+        },
+    }
+    arrays: dict[str, np.ndarray] = {"series": np.asarray(smiler.series)}
+    ensemble_state: dict[str, dict] = {}
+    for horizon in config.horizons:
+        ensemble = smiler.ensemble(horizon)
+        for cell in ensemble.cells:
+            state = ensemble.state(cell)
+            key = _cell_key(horizon, cell)
+            ensemble_state[key] = {
+                "weight": state.weight,
+                "asleep": state.asleep,
+                "sleep_span": state.sleep_span,
+                "sleep_remaining": state.sleep_remaining,
+                "just_recovered": state.just_recovered,
+            }
+            predictor = state.predictor
+            if isinstance(predictor, GaussianProcessPredictor):
+                log_params = predictor._log_params
+                if log_params is not None:
+                    arrays[f"gp_{key}"] = np.asarray(log_params)
+    meta["ensemble_state"] = ensemble_state
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_smiler(path, device=None) -> SMiLer:
+    """Restore a SMiLer instance saved by :func:`save_smiler`."""
+    path = pathlib.Path(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["meta_json"].tobytes()).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported archive version {meta.get('format_version')!r}"
+            )
+        series = np.asarray(archive["series"], dtype=np.float64)
+        gp_params = {
+            name[len("gp_") :]: np.asarray(archive[name])
+            for name in archive.files
+            if name.startswith("gp_")
+        }
+
+    cfg = meta["config"]
+    config = SMiLerConfig(
+        elv=tuple(cfg["elv"]),
+        ekv=tuple(cfg["ekv"]),
+        rho=cfg["rho"],
+        omega=cfg["omega"],
+        horizons=tuple(cfg["horizons"]),
+        predictor=cfg["predictor"],
+        ensemble=cfg["ensemble"],
+        self_adaptive=cfg["self_adaptive"],
+        sleep_enabled=cfg["sleep_enabled"],
+        initial_train_iters=cfg["initial_train_iters"],
+        online_train_iters=cfg["online_train_iters"],
+        single_k=cfg["single_k"],
+        single_d=cfg["single_d"],
+    )
+    smiler = SMiLer(
+        series, config, device=device, sensor_id=meta["sensor_id"]
+    )
+    for horizon in config.horizons:
+        ensemble = smiler.ensemble(horizon)
+        for cell in ensemble.cells:
+            key = _cell_key(horizon, cell)
+            saved = meta["ensemble_state"].get(key)
+            if saved is None:
+                continue
+            state = ensemble.state(cell)
+            state.weight = float(saved["weight"])
+            state.asleep = bool(saved["asleep"])
+            state.sleep_span = int(saved["sleep_span"])
+            state.sleep_remaining = int(saved["sleep_remaining"])
+            state.just_recovered = bool(saved["just_recovered"])
+            if key in gp_params and isinstance(
+                state.predictor, GaussianProcessPredictor
+            ):
+                state.predictor._log_params = gp_params[key]
+    return smiler

@@ -1,0 +1,115 @@
+"""Scale-out beyond one GPU (Section 6.4.1's two options).
+
+The paper names two ways to host more sensors than one 6 GB card fits:
+
+1. **multiple GPUs** — :class:`MultiGpuFleet` shards sensors across a
+   pool of simulated devices, placing each sensor on the device with the
+   most free memory (greedy balancing) and raising only when the whole
+   pool is exhausted;
+2. **less history per sensor** — trading accuracy for space.  SMiLer
+   accepts a truncated history directly; :func:`truncate_history`
+   implements the policy (keep the most recent fraction) and the
+   ablation benchmark measures the accuracy cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.costmodel import DeviceSpec
+from ..gpu.device import GpuDevice, GpuMemoryError
+from .config import SMiLerConfig
+from .smiler import SMiLer
+
+__all__ = ["MultiGpuFleet", "truncate_history"]
+
+
+def truncate_history(values: np.ndarray, fraction: float) -> np.ndarray:
+    """Keep the most recent ``fraction`` of a sensor's history.
+
+    The paper's space/accuracy trade-off ("a sample of ten percent of
+    ROAD ... more than ten thousands of sensors [per GPU]"): recency
+    truncation preserves segment semantics (uniform subsampling would
+    warp the time axis under DTW).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    keep = max(1, int(round(values.size * fraction)))
+    return values[-keep:]
+
+
+class MultiGpuFleet:
+    """Sensors sharded over several simulated GPUs."""
+
+    def __init__(
+        self,
+        histories: list[np.ndarray],
+        config: SMiLerConfig | None = None,
+        n_devices: int = 2,
+        spec: DeviceSpec | None = None,
+    ) -> None:
+        if not histories:
+            raise ValueError("a fleet needs at least one sensor")
+        if n_devices <= 0:
+            raise ValueError(f"n_devices must be positive, got {n_devices}")
+        self.config = config or SMiLerConfig()
+        self.devices = [GpuDevice(spec or DeviceSpec()) for _ in range(n_devices)]
+        self.sensors: list[SMiLer] = []
+        self.placement: list[int] = []
+        for i, history in enumerate(histories):
+            self._place(np.asarray(history, dtype=np.float64), f"sensor-{i}")
+
+    def _place(self, history: np.ndarray, sensor_id: str) -> None:
+        """Greedy balancing: try devices in free-memory order."""
+        order = sorted(
+            range(len(self.devices)),
+            key=lambda d: self.devices[d].free_bytes,
+            reverse=True,
+        )
+        last_error: GpuMemoryError | None = None
+        for device_index in order:
+            device = self.devices[device_index]
+            sensor = SMiLer(
+                history, self.config, device=device, sensor_id=sensor_id
+            )
+            try:
+                device.malloc(sensor.memory_bytes(), label=sensor_id)
+            except GpuMemoryError as error:
+                last_error = error
+                continue
+            self.sensors.append(sensor)
+            self.placement.append(device_index)
+            return
+        raise GpuMemoryError(
+            f"no device in the pool can host {sensor_id}: {last_error}"
+        )
+
+    def __len__(self) -> int:
+        return len(self.sensors)
+
+    def predict_all(self, horizon: int | None = None):
+        """Predictions for every sensor in the fleet."""
+        return [sensor.predict(horizon) for sensor in self.sensors]
+
+    def observe_all(self, values) -> None:
+        """Feed each sensor its newly revealed true value."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size != len(self.sensors):
+            raise ValueError(
+                f"{values.size} values for {len(self.sensors)} sensors"
+            )
+        for sensor, value in zip(self.sensors, values):
+            sensor.observe(float(value))
+
+    def sensors_per_device(self) -> list[int]:
+        """Sensor count hosted on each device."""
+        counts = [0] * len(self.devices)
+        for device_index in self.placement:
+            counts[device_index] += 1
+        return counts
+
+    def total_elapsed_s(self) -> float:
+        """Simulated device time: the pool runs in parallel, so the fleet
+        step time is the busiest device's time."""
+        return max(device.elapsed_s for device in self.devices)

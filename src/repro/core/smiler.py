@@ -1,0 +1,267 @@
+"""The SMiLer system: search step + prediction step + auto-tuning (Fig. 3).
+
+One :class:`SMiLer` instance serves one sensor:
+
+1. **Search step** — the Continuous Suffix kNN Search engine retrieves,
+   for every item length in the ELV, the ``k_max`` nearest historical
+   segments of the sensor's own stream (Section 4).
+2. **Prediction step** — the ensemble matrix of semi-lazy predictors
+   (AR or query-dependent GP) turns each cell's ``(k, d)`` slice of the
+   kNN data into a Gaussian prediction, mixes them by the auto-tuned
+   weights, and self-adapts once the true value arrives (Section 5).
+
+:class:`SensorFleet` scales the same machinery to many sensors sharing
+one (simulated) GPU, including the device-memory accounting behind
+Fig. 12(c).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..gpu.device import GpuDevice
+from ..index.suffix_search import SuffixKnnAnswer, SuffixKnnEngine, SuffixSearchConfig
+from .ar import AggregationPredictor
+from .config import SMiLerConfig
+from .ensemble import AdaptiveEnsemble, Cell, EnsembleOutput
+from .gp_predictor import GaussianProcessPredictor
+from .predictor import GaussianPrediction, SemiLazyPredictor
+
+__all__ = ["SMiLer", "SensorFleet"]
+
+
+def _make_predictor(config: SMiLerConfig) -> "SemiLazyPredictor":
+    if config.predictor == "ar":
+        return AggregationPredictor()
+    return GaussianProcessPredictor(
+        initial_train_iters=config.initial_train_iters,
+        online_train_iters=config.online_train_iters,
+    )
+
+
+@dataclass
+class _PendingUpdate:
+    """A prediction awaiting its true value (auto-tuning is delayed by h)."""
+
+    due_index: int
+    components: dict[Cell, GaussianPrediction]
+
+
+class SMiLer:
+    """Semi-lazy time series prediction for one sensor."""
+
+    def __init__(
+        self,
+        history: np.ndarray,
+        config: SMiLerConfig | None = None,
+        device: GpuDevice | None = None,
+        sensor_id: str = "sensor-0",
+    ) -> None:
+        self.config = config or SMiLerConfig()
+        self.sensor_id = sensor_id
+        self.device = device or GpuDevice()
+        history = np.asarray(history, dtype=np.float64)
+
+        search_config = SuffixSearchConfig(
+            item_lengths=self.config.effective_elv(),
+            k_max=self.config.k_max,
+            omega=self.config.omega,
+            rho=self.config.rho,
+            margin=self.config.margin,
+        )
+        self.engine = SuffixKnnEngine(history, search_config, device=self.device)
+
+        self._ensembles: dict[int, AdaptiveEnsemble] = {
+            h: AdaptiveEnsemble(
+                cells=self.config.grid,
+                predictor_factory=lambda cell: _make_predictor(self.config),
+                self_adaptive=self.config.self_adaptive,
+                sleep_enabled=self.config.sleep_enabled,
+            )
+            for h in self.config.horizons
+        }
+        self._pending: dict[int, deque[_PendingUpdate]] = {
+            h: deque() for h in self.config.horizons
+        }
+        # Index of the next unobserved point.
+        self._now = history.size
+        self._answers: dict[int, SuffixKnnAnswer] | None = None
+        self._answers_at = -1
+
+    # ---------------------------------------------------------------- state
+    @property
+    def now(self) -> int:
+        """Index of the next unobserved point of this sensor's stream."""
+        return self._now
+
+    @property
+    def series(self) -> np.ndarray:
+        """Current series contents (read-only view)."""
+        return self.engine.series
+
+    def ensemble(self, horizon: int) -> AdaptiveEnsemble:
+        """The adaptive ensemble serving one horizon."""
+        return self._ensembles[horizon]
+
+    def _current_answers(self) -> dict[int, SuffixKnnAnswer]:
+        if self._answers is None or self._answers_at != self._now:
+            self._answers = self.engine.search()
+            self._answers_at = self._now
+        return self._answers
+
+    # -------------------------------------------------------------- predict
+    def _cell_inputs(
+        self, answers: dict[int, SuffixKnnAnswer], horizon: int, cells: list[Cell]
+    ) -> dict[Cell, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        series = self.engine.series
+        inputs = {}
+        segment_views = {
+            d: sliding_window_view(series, d) for d in {d for _, d in cells}
+        }
+        for cell in cells:
+            k, d = cell
+            starts, _ = answers[d].top(k)
+            neighbours = segment_views[d][starts]
+            targets = series[starts + d - 1 + horizon]
+            inputs[cell] = (self.engine.item_query(d), neighbours, targets)
+        return inputs
+
+    def predict(self, horizon: int | None = None) -> dict[int, EnsembleOutput]:
+        """Gaussian predictions for the configured horizons.
+
+        Each call reuses the current step's kNN answers across all
+        horizons and ensemble cells (the ensemble's whole point: one
+        Suffix kNN Search serves the entire matrix).
+        """
+        horizons = self.config.horizons if horizon is None else (horizon,)
+        unknown = [h for h in horizons if h not in self._ensembles]
+        if unknown:
+            raise KeyError(
+                f"horizons {unknown} not configured; available: "
+                f"{self.config.horizons}"
+            )
+        answers = self._current_answers()
+        outputs: dict[int, EnsembleOutput] = {}
+        for h in horizons:
+            ensemble = self._ensembles[h]
+            inputs = self._cell_inputs(answers, h, ensemble.awake_cells())
+            output = ensemble.predict(inputs)
+            outputs[h] = output
+            self._remember(h, output)
+        return outputs
+
+    def _remember(self, horizon: int, output: EnsembleOutput) -> None:
+        due = self._now - 1 + horizon
+        queue = self._pending[horizon]
+        if queue and queue[-1].due_index == due:
+            queue[-1].components = output.components  # re-predicted this step
+            return
+        queue.append(_PendingUpdate(due_index=due, components=output.components))
+
+    # -------------------------------------------------------------- observe
+    def observe(self, value: float) -> None:
+        """Feed the newly revealed true value: auto-tune, then advance."""
+        value = float(value)
+        arrived = self._now
+        for h, queue in self._pending.items():
+            while queue and queue[0].due_index < arrived:
+                queue.popleft()  # stale (prediction was never scored)
+            if queue and queue[0].due_index == arrived:
+                update = queue.popleft()
+                self._ensembles[h].update(value, update.components)
+        self._answers = self.engine.step(value)
+        self._now += 1
+        self._answers_at = self._now
+
+    # ------------------------------------------------------------- memory
+    def memory_bytes(self) -> int:
+        """Device-resident footprint of this sensor's index."""
+        return self.engine.window_index.memory_bytes()
+
+    # --------------------------------------------------------- diagnostics
+    def diagnostics(self) -> dict:
+        """Operational snapshot: weights, sleepers, reuse and cost counters.
+
+        Everything an operator dashboard needs to see *why* the system
+        predicts what it predicts — which (k, d) cells the auto-tuner
+        trusts, who is asleep, and what the search layer is reusing.
+        """
+        wi = self.engine.window_index
+        per_horizon = {}
+        for horizon, ensemble in self._ensembles.items():
+            per_horizon[horizon] = {
+                "weights": dict(ensemble.weights()),
+                "asleep": [
+                    cell for cell in ensemble.cells
+                    if ensemble.state(cell).asleep
+                ],
+                "updates": ensemble.updates,
+            }
+        return {
+            "sensor_id": self.sensor_id,
+            "now": self._now,
+            "series_length": wi.series_length,
+            "memory_bytes": self.memory_bytes(),
+            "device_sim_seconds": self.device.elapsed_s,
+            "index_reuse": {
+                "rows_built_full": wi.rows_built_full,
+                "rows_recomputed_lbeq": wi.rows_recomputed_lbeq,
+                "rows_reused": wi.rows_reused,
+            },
+            "horizons": per_horizon,
+        }
+
+
+class SensorFleet:
+    """Many sensors, one device — the scale-out mode of Section 4.4.
+
+    Construction allocates each sensor's index in the device's global
+    memory, so exceeding the GPU's capacity raises
+    :class:`repro.gpu.GpuMemoryError` exactly as Fig. 12(c) measures.
+    """
+
+    def __init__(
+        self,
+        histories: list[np.ndarray],
+        config: SMiLerConfig | None = None,
+        device: GpuDevice | None = None,
+    ) -> None:
+        if not histories:
+            raise ValueError("a fleet needs at least one sensor")
+        self.config = config or SMiLerConfig()
+        self.device = device or GpuDevice()
+        self.sensors: list[SMiLer] = []
+        for i, history in enumerate(histories):
+            sensor = SMiLer(
+                history, self.config, device=self.device,
+                sensor_id=f"sensor-{i}",
+            )
+            self.device.malloc(sensor.memory_bytes(), label=sensor.sensor_id)
+            self.sensors.append(sensor)
+
+    def __len__(self) -> int:
+        return len(self.sensors)
+
+    def predict_all(
+        self, horizon: int | None = None
+    ) -> list[dict[int, EnsembleOutput]]:
+        """Predictions for every sensor (Fig. 3's parallel predictors)."""
+        return [sensor.predict(horizon) for sensor in self.sensors]
+
+    def observe_all(self, values) -> None:
+        """Feed each sensor its newly revealed true value."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size != len(self.sensors):
+            raise ValueError(
+                f"{values.size} values for {len(self.sensors)} sensors"
+            )
+        for sensor, value in zip(self.sensors, values):
+            sensor.observe(float(value))
+
+    def memory_bytes(self) -> int:
+        """Device-resident footprint in bytes."""
+        return sum(sensor.memory_bytes() for sensor in self.sensors)

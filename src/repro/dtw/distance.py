@@ -1,0 +1,185 @@
+"""Dynamic Time Warping under the Sakoe-Chiba band (Appendix B.1).
+
+Conventions (shared by every lower bound in :mod:`repro.dtw.lower_bounds`
+so that ``LB <= DTW`` holds exactly):
+
+* point distance is the squared difference ``(q_i - c_j)**2``,
+* the DTW distance is the raw accumulated sum ``gamma(d, d)`` — no square
+  root, matching the paper's Eqns. (21)-(24),
+* the warping path is restricted to ``|i - j| <= rho`` (warping width).
+
+Four implementations are provided:
+
+* :func:`dtw_distance` — reference banded DP with a rolling row,
+* :func:`dtw_distance_compressed` — the paper's Algorithm 2 verbatim: the
+  ``2 x (2*rho + 2)`` compressed warping matrix designed for GPU shared
+  memory (cross-checked against the reference in tests),
+* :func:`dtw_distance_early_abandon` — row-minimum early abandoning used
+  by the FastCPUScan baseline,
+* :func:`dtw_batch` — band DP vectorised across many candidate segments
+  (the shape a GPU block would compute in parallel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "dtw_distance",
+    "dtw_distance_compressed",
+    "dtw_distance_early_abandon",
+    "dtw_batch",
+]
+
+_INF = np.inf
+
+
+def _check_inputs(query: np.ndarray, candidate: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    query = np.asarray(query, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if query.ndim != 1 or candidate.ndim != 1:
+        raise ValueError("DTW expects 1-D sequences")
+    if query.size != candidate.size:
+        raise ValueError(
+            f"equal-length DTW expected, got {query.size} vs {candidate.size}"
+        )
+    if query.size == 0:
+        raise ValueError("DTW of empty sequences is undefined")
+    return query, candidate
+
+
+def dtw_distance(query, candidate, rho: int | None = None) -> float:
+    """Banded DTW distance between equal-length sequences.
+
+    ``rho=None`` removes the band (full DTW, the paper's GPUScan setting).
+    """
+    query, candidate = _check_inputs(query, candidate)
+    d = query.size
+    band = d if rho is None else int(rho)
+    if band < 0:
+        raise ValueError(f"warping width must be non-negative, got {rho}")
+
+    prev = np.full(d + 1, _INF)
+    prev[0] = 0.0
+    cur = np.empty(d + 1)
+    for i in range(1, d + 1):
+        cur[:] = _INF
+        lo = max(1, i - band)
+        hi = min(d, i + band)
+        qi = query[i - 1]
+        for j in range(lo, hi + 1):
+            cost = (qi - candidate[j - 1]) ** 2
+            cur[j] = cost + min(prev[j], prev[j - 1], cur[j - 1])
+        prev, cur = cur, prev
+    return float(prev[d])
+
+
+def dtw_distance_compressed(query, candidate, rho: int) -> float:
+    """Algorithm 2: banded DTW with the ``2 x (2*rho + 2)`` rolling buffer.
+
+    This mirrors the paper's GPU shared-memory kernel: the warping matrix
+    is stored modulo ``m = 2*rho + 2`` along the band and modulo 2 across
+    rows, reusing memory along the warp path.
+
+    One boundary correction over the printed pseudo-code: Algorithm 2
+    clears ``gamma[(j - rho - 1) % m, j % 2]`` each column, but for
+    ``2 <= j <= rho + 1`` the cell actually read below the band is
+    ``gamma[0, j % 2]`` (the boundary ``gamma(0, j) = inf`` of Eqn. 22),
+    which still holds the stale ``gamma(0, 0) = 0`` and lets warping paths
+    teleport.  Clamping the cleared index at 0 restores Eqn. 22 (and
+    subsumes the pseudo-code's line 5 at ``j = 1``).
+    """
+    query, candidate = _check_inputs(query, candidate)
+    if rho < 0:
+        raise ValueError(f"warping width must be non-negative, got {rho}")
+    d = query.size
+    m = 2 * rho + 2
+    # gamma[i % m][j % 2] stores the DP cell (i, j); the modulus reuses the
+    # buffer exactly as Algorithm 2 does in shared memory.
+    gamma = np.full((m, 2), _INF)
+    gamma[0, 0] = 0.0
+
+    for j in range(1, d + 1):
+        gamma[max(0, j - rho - 1) % m, j % 2] = _INF
+        gamma[(j + rho) % m, (j - 1) % 2] = _INF
+        cj = candidate[j - 1]
+        for i in range(max(1, j - rho), min(d, j + rho) + 1):
+            cost = (query[i - 1] - cj) ** 2
+            gamma[i % m, j % 2] = cost + min(
+                gamma[(i - 1) % m, j % 2],
+                gamma[i % m, (j - 1) % 2],
+                gamma[(i - 1) % m, (j - 1) % 2],
+            )
+    return float(gamma[d % m, d % 2])
+
+
+def dtw_distance_early_abandon(
+    query, candidate, rho: int, best_so_far: float
+) -> float:
+    """Banded DTW that abandons once every band cell exceeds ``best_so_far``.
+
+    Returns ``inf`` when abandoned — the candidate cannot be a kNN.  This is
+    the pruning used by the FastCPUScan baseline (Section 6.2.1, [41, 54]).
+    """
+    query, candidate = _check_inputs(query, candidate)
+    if rho < 0:
+        raise ValueError(f"warping width must be non-negative, got {rho}")
+    d = query.size
+    prev = np.full(d + 1, _INF)
+    prev[0] = 0.0
+    cur = np.empty(d + 1)
+    for i in range(1, d + 1):
+        cur[:] = _INF
+        lo = max(1, i - rho)
+        hi = min(d, i + rho)
+        qi = query[i - 1]
+        row_min = _INF
+        for j in range(lo, hi + 1):
+            cost = (qi - candidate[j - 1]) ** 2
+            value = cost + min(prev[j], prev[j - 1], cur[j - 1])
+            cur[j] = value
+            if value < row_min:
+                row_min = value
+        if row_min > best_so_far:
+            return _INF
+        prev, cur = cur, prev
+    return float(prev[d])
+
+
+def dtw_batch(query, candidates, rho: int | None = None) -> np.ndarray:
+    """Banded DTW between one query and many candidates, vectorised.
+
+    ``candidates`` has shape ``(n, d)``; the DP loops over matrix cells in
+    Python but evaluates each cell for *all* candidates at once — the same
+    data-parallel shape a GPU block computes with one candidate per thread.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+    d = query.size
+    if candidates.shape[1] != d:
+        raise ValueError(
+            f"candidates of length {candidates.shape[1]} do not match query "
+            f"of length {d}"
+        )
+    n = candidates.shape[0]
+    if n == 0:
+        return np.empty(0)
+    band = d if rho is None else int(rho)
+    if band < 0:
+        raise ValueError(f"warping width must be non-negative, got {rho}")
+
+    prev = np.full((n, d + 1), _INF)
+    prev[:, 0] = 0.0
+    cur = np.empty((n, d + 1))
+    for i in range(1, d + 1):
+        cur[:] = _INF
+        lo = max(1, i - band)
+        hi = min(d, i + band)
+        qi = query[i - 1]
+        for j in range(lo, hi + 1):
+            cost = (qi - candidates[:, j - 1]) ** 2
+            best = np.minimum(prev[:, j], prev[:, j - 1])
+            np.minimum(best, cur[:, j - 1], out=best)
+            cur[:, j] = cost + best
+        prev, cur = cur, prev
+    return prev[:, d].copy()

@@ -1,0 +1,101 @@
+"""Warping envelopes (Definition B.1) with O(n) construction.
+
+``U_i = max(c_{i-rho} .. c_{i+rho})`` and ``L_i`` the analogous minimum,
+with the window clipped at sequence boundaries.  Built with the monotonic
+deque (Lemire) algorithm so envelope maintenance is linear, plus a
+streaming helper used by the continuous-query reuse path: appending one
+point to a series only changes the envelope of the trailing ``rho``
+positions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["Envelope", "compute_envelope", "envelope_extend"]
+
+
+class Envelope:
+    """Upper/lower envelope pair of one sequence for a given warping width."""
+
+    __slots__ = ("upper", "lower", "rho")
+
+    def __init__(self, upper: np.ndarray, lower: np.ndarray, rho: int) -> None:
+        self.upper = upper
+        self.lower = lower
+        self.rho = rho
+
+    def __len__(self) -> int:
+        return self.upper.size
+
+    def slice(self, start: int, stop: int) -> "Envelope":
+        """Envelope restricted to positions ``[start, stop)`` (view)."""
+        return Envelope(self.upper[start:stop], self.lower[start:stop], self.rho)
+
+
+def compute_envelope(values, rho: int) -> Envelope:
+    """Build the envelope of ``values`` with warping width ``rho``.
+
+    Runs in O(n) using two monotonic deques (one for max, one for min).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("envelope expects a 1-D sequence")
+    if rho < 0:
+        raise ValueError(f"warping width must be non-negative, got {rho}")
+    n = values.size
+    upper = np.empty(n)
+    lower = np.empty(n)
+    max_q: deque[int] = deque()
+    min_q: deque[int] = deque()
+
+    for j in range(n + rho):
+        if j < n:
+            while max_q and values[max_q[-1]] <= values[j]:
+                max_q.pop()
+            max_q.append(j)
+            while min_q and values[min_q[-1]] >= values[j]:
+                min_q.pop()
+            min_q.append(j)
+        center = j - rho
+        if center >= 0:
+            while max_q and max_q[0] < center - rho:
+                max_q.popleft()
+            while min_q and min_q[0] < center - rho:
+                min_q.popleft()
+            upper[center] = values[max_q[0]]
+            lower[center] = values[min_q[0]]
+    return Envelope(upper, lower, rho)
+
+
+def envelope_extend(values, old: Envelope, n_new: int) -> Envelope:
+    """Envelope of ``values`` given the envelope of its prefix.
+
+    ``values`` is the full sequence after ``n_new`` points were appended;
+    ``old`` is the envelope of ``values[:-n_new]``.  Only the trailing
+    ``rho + n_new`` positions can differ from ``old``, so the update is
+    O(rho + n_new) amortised instead of O(n).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    rho = old.rho
+    n = values.size
+    n_old = n - n_new
+    if n_old != len(old):
+        raise ValueError(
+            f"old envelope covers {len(old)} points but values imply {n_old}"
+        )
+    upper = np.empty(n)
+    lower = np.empty(n)
+    stable = max(0, n_old - rho)
+    upper[:stable] = old.upper[:stable]
+    lower[:stable] = old.lower[:stable]
+    # Recompute the affected tail directly; it is short.
+    for center in range(stable, n):
+        lo = max(0, center - rho)
+        hi = min(n, center + rho + 1)
+        window = values[lo:hi]
+        upper[center] = window.max()
+        lower[center] = window.min()
+    return Envelope(upper, lower, rho)

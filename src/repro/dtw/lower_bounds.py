@@ -1,0 +1,169 @@
+"""DTW lower bounds: LB_Keogh, LB_EQ, LB_EC and the enhanced LB_en.
+
+Notation follows Section 4.2:
+
+* ``LB_EQ(Q, C) = LB_keogh(E(Q), C)`` — envelope of the *query* against the
+  candidate's raw values,
+* ``LB_EC(Q, C) = LB_keogh(E(C), Q)`` — envelope of the *candidate* against
+  the query's raw values,
+* ``LB_en(Q, C) = max(LB_EQ, LB_EC)`` — the paper's enhanced bound
+  (Theorem 4.1), tighter than either side and free on a parallel device
+  because both sides share the same memory scans.
+
+All bounds accumulate squared differences, matching
+:mod:`repro.dtw.distance`, so ``LB <= DTW`` holds exactly (tested with
+hypothesis).
+
+For subsequence search the candidate-side envelope is computed once over
+the *whole* series: the global envelope at absolute position ``t + j``
+covers every value a banded warping path could match ``q_j`` against for
+the segment starting at ``t``, so one envelope serves all segments (and is
+only looser near segment boundaries — still a valid bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .envelope import Envelope, compute_envelope
+
+__all__ = [
+    "lb_kim",
+    "lb_keogh",
+    "lb_keogh_terms",
+    "lb_eq",
+    "lb_ec",
+    "lb_en",
+    "lb_profile",
+    "window_pair_lb_matrices",
+]
+
+
+def lb_kim(query, candidate) -> float:
+    """LB_Kim (first/last-point bound), the O(1) prefilter of [54].
+
+    Any warping path must align the first points together and the last
+    points together, so their squared distances sum to a lower bound.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if query.size == 0 or candidate.size == 0:
+        raise ValueError("LB_Kim of empty sequences is undefined")
+    return float(
+        (query[0] - candidate[0]) ** 2 + (query[-1] - candidate[-1]) ** 2
+    )
+
+
+def lb_keogh_terms(envelope: Envelope, values: np.ndarray) -> np.ndarray:
+    """Per-position LB_Keogh terms: squared distance of value to envelope."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape[-1] != len(envelope):
+        raise ValueError(
+            f"values of length {values.shape[-1]} do not match envelope of "
+            f"length {len(envelope)}"
+        )
+    above = np.clip(values - envelope.upper, 0.0, None)
+    below = np.clip(envelope.lower - values, 0.0, None)
+    return above**2 + below**2
+
+
+def lb_keogh(envelope: Envelope, values: np.ndarray) -> float:
+    """``LB_keogh(E(X), Y)``: how far ``Y`` strays outside ``X``'s envelope."""
+    return float(lb_keogh_terms(envelope, values).sum())
+
+
+def lb_eq(query, candidate, rho: int) -> float:
+    """``LB_EQ(Q, C)`` — query-envelope bound (Section 4.2)."""
+    query = np.asarray(query, dtype=np.float64)
+    return lb_keogh(compute_envelope(query, rho), candidate)
+
+
+def lb_ec(query, candidate, rho: int) -> float:
+    """``LB_EC(Q, C)`` — candidate-envelope bound (Section 4.2)."""
+    candidate = np.asarray(candidate, dtype=np.float64)
+    return lb_keogh(compute_envelope(candidate, rho), query)
+
+
+def lb_en(query, candidate, rho: int) -> float:
+    """Enhanced lower bound ``max(LB_EQ, LB_EC)`` (Theorem 4.1)."""
+    return max(lb_eq(query, candidate, rho), lb_ec(query, candidate, rho))
+
+
+def lb_profile(
+    query: np.ndarray,
+    series: np.ndarray,
+    rho: int,
+    query_envelope: Envelope | None = None,
+    series_envelope: Envelope | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """LB_EQ/LB_EC of one query against *every* segment of ``series``.
+
+    Returns ``(lbeq, lbec)`` arrays of length ``len(series) - d + 1`` where
+    entry ``t`` bounds ``DTW(query, series[t:t+d])``.  This is the
+    "SMiLer-Dir" direct computation the two-level index is benchmarked
+    against in Fig. 8; it is also the ground truth the group-level index's
+    partial sums are validated under (index bound <= profile bound).
+    """
+    query = np.asarray(query, dtype=np.float64)
+    series = np.asarray(series, dtype=np.float64)
+    d = query.size
+    if d > series.size:
+        raise ValueError(
+            f"query of length {d} longer than series of length {series.size}"
+        )
+    if query_envelope is None:
+        query_envelope = compute_envelope(query, rho)
+    if series_envelope is None:
+        series_envelope = compute_envelope(series, rho)
+
+    segments = sliding_window_view(series, d)
+    lbeq = lb_keogh_terms(query_envelope, segments).sum(axis=1)
+
+    # LB_EC: per-position terms of q_j against the global series envelope at
+    # absolute position t + j, summed along each diagonal t.
+    upper = sliding_window_view(series_envelope.upper, d)
+    lower = sliding_window_view(series_envelope.lower, d)
+    above = np.clip(query[None, :] - upper, 0.0, None)
+    below = np.clip(lower - query[None, :], 0.0, None)
+    lbec = (above**2 + below**2).sum(axis=1)
+    return lbeq, lbec
+
+
+def window_pair_lb_matrices(
+    sw_values: np.ndarray,
+    sw_upper: np.ndarray,
+    sw_lower: np.ndarray,
+    dw_values: np.ndarray,
+    dw_upper: np.ndarray,
+    dw_lower: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Window-level posting lists: LB_EQ/LB_EC between all (SW, DW) pairs.
+
+    Inputs are ``(n_sw, omega)`` sliding-window slices (raw values plus the
+    master-query envelope restricted to the window) and ``(n_dw, omega)``
+    disjoint-window slices (raw values plus the *global* series envelope).
+    Output matrices have shape ``(n_sw, n_dw)``; entry ``(b, r)`` is the
+    omega-point partial bound the group level later shift-sums (Eqn. 5).
+
+    This is exactly the computation the paper assigns one GPU block per
+    sliding window; here it is one broadcast expression.
+    """
+    sw_values = np.asarray(sw_values, dtype=np.float64)
+    if sw_values.size == 0 or dw_values.size == 0:
+        n_sw = sw_values.shape[0] if sw_values.ndim == 2 else 0
+        n_dw = dw_values.shape[0] if np.asarray(dw_values).ndim == 2 else 0
+        return np.zeros((n_sw, n_dw)), np.zeros((n_sw, n_dw))
+
+    dwv = dw_values[None, :, :]  # (1, n_dw, omega)
+    # LB_EQ: candidate (DW) values against the query-window envelope.
+    above = np.clip(dwv - sw_upper[:, None, :], 0.0, None)
+    below = np.clip(sw_lower[:, None, :] - dwv, 0.0, None)
+    lbeq = (above**2 + below**2).sum(axis=2)
+
+    # LB_EC: query-window values against the series envelope at the DW.
+    swv = sw_values[:, None, :]
+    above = np.clip(swv - dw_upper[None, :, :], 0.0, None)
+    below = np.clip(dw_lower[None, :, :] - swv, 0.0, None)
+    lbec = (above**2 + below**2).sum(axis=2)
+    return lbeq, lbec

@@ -1,0 +1,149 @@
+"""Alternative time-series similarity measures (Section 4's survey).
+
+The paper picks DTW after weighing the alternatives; a reusable library
+should ship them, both for completeness and so the "DTW is the most
+effective" claim can be checked (see ``benchmarks`` ablations):
+
+* :func:`euclidean_distance` — simple, noise-sensitive [32],
+* :func:`lcss_similarity` / :func:`lcss_distance` — Longest Common
+  SubSequence with a matching threshold epsilon [66],
+* :func:`erp_distance` — Edit distance with Real Penalty: an L1-style
+  metric with a gap constant [21],
+* :func:`edr_distance` — Edit Distance on Real sequences [22].
+
+All support the Sakoe-Chiba band for comparability with the banded DTW.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "euclidean_distance",
+    "lcss_similarity",
+    "lcss_distance",
+    "erp_distance",
+    "edr_distance",
+]
+
+_INF = np.inf
+
+
+def _check(query, candidate, equal_length=True):
+    query = np.asarray(query, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    if query.ndim != 1 or candidate.ndim != 1:
+        raise ValueError("similarity measures expect 1-D sequences")
+    if query.size == 0 or candidate.size == 0:
+        raise ValueError("empty sequences are not comparable")
+    if equal_length and query.size != candidate.size:
+        raise ValueError(
+            f"equal lengths expected, got {query.size} vs {candidate.size}"
+        )
+    return query, candidate
+
+
+def euclidean_distance(query, candidate) -> float:
+    """Sum of squared differences (the rho=0 limit of our DTW)."""
+    query, candidate = _check(query, candidate)
+    return float(np.sum((query - candidate) ** 2))
+
+
+def lcss_similarity(query, candidate, epsilon: float, rho: int | None = None) -> int:
+    """Length of the longest common subsequence under threshold epsilon.
+
+    Two points match when ``|q_i - c_j| <= epsilon`` and (if banded)
+    ``|i - j| <= rho``.
+    """
+    query, candidate = _check(query, candidate, equal_length=False)
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    n, m = query.size, candidate.size
+    band = max(n, m) if rho is None else int(rho)
+    if band < 0:
+        raise ValueError(f"rho must be non-negative, got {rho}")
+    prev = np.zeros(m + 1, dtype=np.int64)
+    cur = np.zeros(m + 1, dtype=np.int64)
+    for i in range(1, n + 1):
+        cur[:] = 0
+        lo = max(1, i - band)
+        hi = min(m, i + band)
+        qi = query[i - 1]
+        for j in range(lo, hi + 1):
+            if abs(qi - candidate[j - 1]) <= epsilon:
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = max(prev[j], cur[j - 1])
+        prev, cur = cur, prev
+    return int(prev[m])
+
+def lcss_distance(query, candidate, epsilon: float, rho: int | None = None) -> float:
+    """``1 - LCSS / min(n, m)`` — the usual normalised dissimilarity."""
+    query = np.asarray(query, dtype=np.float64)
+    candidate = np.asarray(candidate, dtype=np.float64)
+    sim = lcss_similarity(query, candidate, epsilon, rho)
+    return 1.0 - sim / min(query.size, candidate.size)
+
+
+def erp_distance(query, candidate, gap: float = 0.0, rho: int | None = None) -> float:
+    """Edit distance with Real Penalty [21] (a true metric).
+
+    Unmatched points pay ``|x - gap|``; matched pairs pay ``|q_i - c_j|``.
+    """
+    query, candidate = _check(query, candidate, equal_length=False)
+    n, m = query.size, candidate.size
+    band = max(n, m) if rho is None else int(rho)
+    if band < 0:
+        raise ValueError(f"rho must be non-negative, got {rho}")
+    prev = np.full(m + 1, _INF)
+    cur = np.empty(m + 1)
+    prev[0] = 0.0
+    for j in range(1, m + 1):
+        prev[j] = prev[j - 1] + abs(candidate[j - 1] - gap)
+    for i in range(1, n + 1):
+        cur[:] = _INF
+        lo = max(1, i - band)
+        hi = min(m, i + band)
+        qi = query[i - 1]
+        gap_q = abs(qi - gap)
+        if lo == 1:
+            cur[0] = prev[0] + gap_q
+        for j in range(lo, hi + 1):
+            cur[j] = min(
+                prev[j - 1] + abs(qi - candidate[j - 1]),  # match
+                prev[j] + gap_q,                           # gap in candidate
+                cur[j - 1] + abs(candidate[j - 1] - gap),  # gap in query
+            )
+        prev, cur = cur, prev
+    return float(prev[m])
+
+
+def edr_distance(query, candidate, epsilon: float, rho: int | None = None) -> int:
+    """Edit Distance on Real sequences [22]: edit count with matches free."""
+    query, candidate = _check(query, candidate, equal_length=False)
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    n, m = query.size, candidate.size
+    band = max(n, m) if rho is None else int(rho)
+    if band < 0:
+        raise ValueError(f"rho must be non-negative, got {rho}")
+    big = n + m + 1
+    prev = np.full(m + 1, big, dtype=np.int64)
+    cur = np.empty(m + 1, dtype=np.int64)
+    prev[: m + 1] = np.arange(m + 1)
+    for i in range(1, n + 1):
+        cur[:] = big
+        lo = max(1, i - band)
+        hi = min(m, i + band)
+        if lo == 1:
+            cur[0] = i
+        qi = query[i - 1]
+        for j in range(lo, hi + 1):
+            match_cost = 0 if abs(qi - candidate[j - 1]) <= epsilon else 1
+            cur[j] = min(
+                prev[j - 1] + match_cost,
+                prev[j] + 1,
+                cur[j - 1] + 1,
+            )
+        prev, cur = cur, prev
+    return int(prev[m])

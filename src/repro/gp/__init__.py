@@ -1,0 +1,38 @@
+"""Gaussian Process stack: exact GP, LOO training, sparse approximations."""
+
+from .fitc import FitcSparseGP
+from .kernels import SquaredExponentialKernel, squared_distances
+from .more_kernels import Matern52Kernel, PeriodicKernel
+from .loo import LooResult, loo_log_likelihood, loo_objective, loo_quantities
+from .optimize import (
+    OptimizeResult,
+    conjugate_gradient_minimize,
+    nelder_mead_minimize,
+)
+from .regression import GaussianProcessRegressor, robust_cholesky
+from .sparse import ProjectedSparseGP, select_active_points
+from .train import fit_exact_gp, marginal_likelihood_objective
+from .variational import VariationalSparseGP, kmeans
+
+__all__ = [
+    "Matern52Kernel",
+    "PeriodicKernel",
+    "FitcSparseGP",
+    "SquaredExponentialKernel",
+    "squared_distances",
+    "LooResult",
+    "loo_log_likelihood",
+    "loo_objective",
+    "loo_quantities",
+    "OptimizeResult",
+    "conjugate_gradient_minimize",
+    "nelder_mead_minimize",
+    "GaussianProcessRegressor",
+    "robust_cholesky",
+    "ProjectedSparseGP",
+    "select_active_points",
+    "fit_exact_gp",
+    "marginal_likelihood_objective",
+    "VariationalSparseGP",
+    "kmeans",
+]

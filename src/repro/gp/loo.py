@@ -1,0 +1,106 @@
+"""Leave-one-out predictive likelihood and its gradients (Section 5.2.2).
+
+The semi-lazy GP trains its hyperparameters by maximising the LOO log
+predictive probability (paper Eqns. 19-20, following Sundararajan &
+Keerthi [64] / GPML Section 5.4.2).  The "inversion of the partitioned
+matrix" trick the paper cites is exactly the identity used here: with
+``Kinv = C^{-1}`` and ``alpha = C^{-1} y``,
+
+    mu_i      = y_i - alpha_i / Kinv_ii
+    sigma_i^2 = 1 / Kinv_ii
+
+so all n leave-one-out posteriors come from ONE factorisation instead of
+n rank-down-dated ones.  Gradients w.r.t. ``log theta_j`` follow GPML
+Eqn. 5.13 and are verified against finite differences in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.linalg import cho_solve
+
+from .kernels import SquaredExponentialKernel
+from .regression import robust_cholesky
+
+__all__ = ["LooResult", "loo_quantities", "loo_log_likelihood", "loo_objective"]
+
+_LOG_2PI = np.log(2.0 * np.pi)
+
+
+@dataclass
+class LooResult:
+    """LOO means/variances plus the total log predictive likelihood."""
+
+    means: np.ndarray
+    variances: np.ndarray
+    log_likelihood: float
+
+
+def loo_quantities(
+    kernel: SquaredExponentialKernel, x: np.ndarray, y: np.ndarray
+) -> LooResult:
+    """LOO posterior for every held-out training point (Eqn. 19)."""
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.asarray(y, dtype=np.float64).ravel()
+    cov = kernel.matrix(x, noise=True)
+    lower, _ = robust_cholesky(cov)
+    kinv = cho_solve((lower, True), np.eye(y.size))
+    alpha = kinv @ y
+    diag = np.clip(np.diag(kinv), 1e-300, None)
+    variances = 1.0 / diag
+    means = y - alpha / diag
+    logp = -0.5 * np.log(variances) - (y - means) ** 2 / (2 * variances) - 0.5 * _LOG_2PI
+    return LooResult(means=means, variances=variances, log_likelihood=float(logp.sum()))
+
+
+def loo_log_likelihood(
+    kernel: SquaredExponentialKernel, x: np.ndarray, y: np.ndarray
+) -> float:
+    """``L(X, Y, Theta)`` of Eqn. 20."""
+    return loo_quantities(kernel, x, y).log_likelihood
+
+
+def loo_objective(
+    log_params: np.ndarray, x: np.ndarray, y: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Negative LOO log likelihood and gradient w.r.t. ``log theta``.
+
+    This is the function handed to the conjugate-gradient optimiser; the
+    sign is flipped because the optimiser minimises.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.asarray(y, dtype=np.float64).ravel()
+    kernel = SquaredExponentialKernel.from_log_params(log_params)
+    cov = kernel.matrix(x, noise=True)
+    lower, _ = robust_cholesky(cov)
+    kinv = cho_solve((lower, True), np.eye(y.size))
+    alpha = kinv @ y
+    diag = np.clip(np.diag(kinv), 1e-300, None)
+
+    # Objective (GPML eq. 5.10-5.12).
+    variances = 1.0 / diag
+    means = y - alpha / diag
+    logp = (
+        -0.5 * np.log(variances)
+        - (y - means) ** 2 / (2.0 * variances)
+        - 0.5 * _LOG_2PI
+    )
+    value = -float(logp.sum())
+
+    # Gradient (GPML eq. 5.13): for each hyperparameter j with
+    # Z_j = Kinv dK/dtheta_j,
+    #   dL/dtheta_j = sum_i [ alpha_i (Z_j alpha)_i
+    #                 - 0.5 (1 + alpha_i^2 / Kinv_ii) (Z_j Kinv)_ii ]
+    #                 / Kinv_ii
+    grads = np.empty(3)
+    for j, dk in enumerate(kernel.gradients(x)):
+        zj = kinv @ dk
+        zj_alpha = zj @ alpha
+        zj_kinv_diag = np.sum(zj * kinv.T, axis=1)
+        per_point = (
+            alpha * zj_alpha - 0.5 * (1.0 + alpha**2 / diag) * zj_kinv_diag
+        ) / diag
+        grads[j] = -float(per_point.sum())
+    return value, grads

@@ -1,0 +1,171 @@
+"""Additional covariance functions: Matérn-5/2 and periodic.
+
+The paper fixes the SE kernel (Eqn. 18); a GP library should offer the
+other two workhorses.  Both implement the same protocol as
+:class:`~repro.gp.kernels.SquaredExponentialKernel` (``matrix``,
+``diag``, ``gradients`` w.r.t. log-hyperparameters, log-space
+round-trip), so they drop into :class:`GaussianProcessRegressor` and the
+generic trainers:
+
+* **Matérn-5/2** — rougher sample paths than SE (twice differentiable);
+  the usual pick when SE over-smooths.
+* **Periodic** (MacKay) — exact periodic structure with period ``p``;
+  useful for strongly seasonal sensors where the period is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .kernels import squared_distances
+
+__all__ = ["Matern52Kernel", "PeriodicKernel"]
+
+
+def _check_positive(**params: float) -> None:
+    for name, value in params.items():
+        if not np.isfinite(value) or value <= 0:
+            raise ValueError(f"{name} must be positive and finite, got {value}")
+
+
+@dataclass(frozen=True)
+class Matern52Kernel:
+    """``k(r) = theta0^2 (1 + a + a^2/3) exp(-a)``, ``a = sqrt(5) r / theta1``."""
+
+    theta0: float = 1.0
+    theta1: float = 1.0
+    theta2: float = 0.1
+
+    def __post_init__(self) -> None:
+        _check_positive(theta0=self.theta0, theta1=self.theta1, theta2=self.theta2)
+
+    @property
+    def log_params(self) -> np.ndarray:
+        """Current hyperparameters in log space."""
+        return np.log([self.theta0, self.theta1, self.theta2])
+
+    @classmethod
+    def from_log_params(cls, log_params: np.ndarray) -> "Matern52Kernel":
+        """Rebuild the kernel from log-hyperparameters."""
+        log_params = np.asarray(log_params, dtype=np.float64)
+        if log_params.shape != (3,):
+            raise ValueError(f"expected 3 log-parameters, got {log_params.shape}")
+        t0, t1, t2 = np.exp(np.clip(log_params, -20, 20))
+        return cls(float(t0), float(t1), float(t2))
+
+    def _a(self, xa, xb) -> np.ndarray:
+        r = np.sqrt(squared_distances(xa, xa if xb is None else xb))
+        return np.sqrt(5.0) * r / self.theta1
+
+    def matrix(self, xa, xb=None, noise: bool = False) -> np.ndarray:
+        """Covariance matrix between input sets (noise optional on the symmetric case)."""
+        a = self._a(xa, xb)
+        cov = self.theta0**2 * (1.0 + a + a**2 / 3.0) * np.exp(-a)
+        if noise:
+            if xb is not None:
+                raise ValueError("noise only applies to the symmetric matrix")
+            cov = cov + self.theta2**2 * np.eye(cov.shape[0])
+        return cov
+
+    def diag(self, x, noise: bool = False) -> np.ndarray:
+        """Prior variance of each input row."""
+        x = np.atleast_2d(x)
+        value = self.theta0**2 + (self.theta2**2 if noise else 0.0)
+        return np.full(x.shape[0], value)
+
+    def gradients(self, x) -> list[np.ndarray]:
+        """``dK/d log theta_j`` for the symmetric noisy matrix."""
+        x = np.atleast_2d(x)
+        a = self._a(x, None)
+        base = self.theta0**2 * np.exp(-a)
+        d_log_theta0 = 2.0 * base * (1.0 + a + a**2 / 3.0)
+        # d/da[(1+a+a^2/3)e^{-a}] = -(a/3)(1+a)e^{-a};  da/dlog(theta1) = -a.
+        d_log_theta1 = base * (a**2 / 3.0) * (1.0 + a)
+        d_log_theta2 = 2.0 * self.theta2**2 * np.eye(x.shape[0])
+        return [d_log_theta0, d_log_theta1, d_log_theta2]
+
+    def replace(self, **kwargs) -> "Matern52Kernel":
+        """Copy with some hyperparameters replaced."""
+        params = {"theta0": self.theta0, "theta1": self.theta1, "theta2": self.theta2}
+        params.update(kwargs)
+        return Matern52Kernel(**params)
+
+
+@dataclass(frozen=True)
+class PeriodicKernel:
+    """MacKay's periodic kernel plus noise.
+
+    ``k(r) = theta0^2 exp(-2 sin^2(pi r / period) / lengthscale^2)``
+    with ``r`` the Euclidean input distance.
+    """
+
+    theta0: float = 1.0
+    period: float = 1.0
+    lengthscale: float = 1.0
+    noise: float = 0.1
+
+    def __post_init__(self) -> None:
+        _check_positive(
+            theta0=self.theta0, period=self.period,
+            lengthscale=self.lengthscale, noise=self.noise,
+        )
+
+    @property
+    def log_params(self) -> np.ndarray:
+        """Current hyperparameters in log space."""
+        return np.log([self.theta0, self.period, self.lengthscale, self.noise])
+
+    @classmethod
+    def from_log_params(cls, log_params: np.ndarray) -> "PeriodicKernel":
+        """Rebuild the kernel from log-hyperparameters."""
+        log_params = np.asarray(log_params, dtype=np.float64)
+        if log_params.shape != (4,):
+            raise ValueError(f"expected 4 log-parameters, got {log_params.shape}")
+        t0, p, ell, noise = np.exp(np.clip(log_params, -20, 20))
+        return cls(float(t0), float(p), float(ell), float(noise))
+
+    def _u(self, xa, xb) -> np.ndarray:
+        r = np.sqrt(squared_distances(xa, xa if xb is None else xb))
+        return np.pi * r / self.period
+
+    def matrix(self, xa, xb=None, noise: bool = False) -> np.ndarray:
+        """Covariance matrix between input sets (noise optional on the symmetric case)."""
+        u = self._u(xa, xb)
+        cov = self.theta0**2 * np.exp(
+            -2.0 * np.sin(u) ** 2 / self.lengthscale**2
+        )
+        if noise:
+            if xb is not None:
+                raise ValueError("noise only applies to the symmetric matrix")
+            cov = cov + self.noise**2 * np.eye(cov.shape[0])
+        return cov
+
+    def diag(self, x, noise: bool = False) -> np.ndarray:
+        """Prior variance of each input row."""
+        x = np.atleast_2d(x)
+        value = self.theta0**2 + (self.noise**2 if noise else 0.0)
+        return np.full(x.shape[0], value)
+
+    def gradients(self, x) -> list[np.ndarray]:
+        """dK/d(log theta_j) for the symmetric noisy matrix, in parameter order."""
+        x = np.atleast_2d(x)
+        u = self._u(x, None)
+        ell_sq = self.lengthscale**2
+        core = self.theta0**2 * np.exp(-2.0 * np.sin(u) ** 2 / ell_sq)
+        d_log_theta0 = 2.0 * core
+        # d/dlog(period): du/dlog p = -u; d/du[-2 sin^2 u / l^2] = -2 sin(2u)/l^2.
+        d_log_period = core * (2.0 * np.sin(2.0 * u) / ell_sq) * u
+        d_log_lengthscale = core * (4.0 * np.sin(u) ** 2 / ell_sq)
+        d_log_noise = 2.0 * self.noise**2 * np.eye(x.shape[0])
+        return [d_log_theta0, d_log_period, d_log_lengthscale, d_log_noise]
+
+    def replace(self, **kwargs) -> "PeriodicKernel":
+        """Copy with some hyperparameters replaced."""
+        params = {
+            "theta0": self.theta0, "period": self.period,
+            "lengthscale": self.lengthscale, "noise": self.noise,
+        }
+        params.update(kwargs)
+        return PeriodicKernel(**params)

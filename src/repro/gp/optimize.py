@@ -1,0 +1,169 @@
+"""Optimisers for online GP training (Section 5.2.2) and baselines.
+
+* :func:`conjugate_gradient_minimize` — Polak-Ribière+ conjugate gradient
+  with Armijo backtracking.  Supports the paper's two training regimes:
+  full optimisation for the initial query and *fixed-step* pursuit
+  (``max_iters=5``) warm-started from the previous step's
+  hyperparameters for continuous prediction.
+* :func:`nelder_mead_minimize` — derivative-free simplex search used by
+  the Holt-Winters and sparse-GP baselines (whose objectives we do not
+  differentiate analytically).
+
+Both are dependency-free re-implementations; correctness is checked on
+standard test functions and against known optima in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "OptimizeResult",
+    "conjugate_gradient_minimize",
+    "nelder_mead_minimize",
+]
+
+ValueAndGrad = Callable[[np.ndarray], tuple[float, np.ndarray]]
+
+
+@dataclass
+class OptimizeResult:
+    """Terminal state of an optimisation run."""
+
+    x: np.ndarray
+    value: float
+    iterations: int
+    converged: bool
+
+
+def _backtracking_line_search(
+    fun: ValueAndGrad,
+    x: np.ndarray,
+    value: float,
+    grad: np.ndarray,
+    direction: np.ndarray,
+    initial_step: float = 1.0,
+    armijo: float = 1e-4,
+    shrink: float = 0.5,
+    max_backtracks: int = 25,
+) -> tuple[np.ndarray, float, np.ndarray, float] | None:
+    """Armijo backtracking along ``direction``; None when no progress."""
+    slope = float(grad @ direction)
+    if slope >= 0:
+        return None
+    step = initial_step
+    for _ in range(max_backtracks):
+        candidate = x + step * direction
+        cand_value, cand_grad = fun(candidate)
+        if np.isfinite(cand_value) and cand_value <= value + armijo * step * slope:
+            return candidate, cand_value, cand_grad, step
+        step *= shrink
+    return None
+
+
+def conjugate_gradient_minimize(
+    fun: ValueAndGrad,
+    x0: np.ndarray,
+    max_iters: int = 100,
+    grad_tol: float = 1e-6,
+    value_tol: float = 1e-10,
+) -> OptimizeResult:
+    """Polak-Ribière+ CG with restarts and Armijo backtracking."""
+    x = np.asarray(x0, dtype=np.float64).copy()
+    value, grad = fun(x)
+    if not np.isfinite(value):
+        raise ValueError(f"objective not finite at the start point: {value}")
+    direction = -grad
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iters + 1):
+        if np.linalg.norm(grad) < grad_tol:
+            converged = True
+            break
+        result = _backtracking_line_search(fun, x, value, grad, direction)
+        if result is None:
+            # Bad direction (stale conjugacy): restart with steepest descent.
+            result = _backtracking_line_search(fun, x, value, grad, -grad)
+            if result is None:
+                break
+        new_x, new_value, new_grad, _ = result
+        if value - new_value < value_tol * (abs(value) + value_tol):
+            x, value, grad = new_x, new_value, new_grad
+            converged = True
+            break
+        # Polak-Ribière+ update with automatic restart (beta clipped to
+        # [0, 1e6]; runaway beta on ill-scaled problems degenerates the
+        # direction and is caught by the steepest-descent restart above).
+        with np.errstate(over="ignore", invalid="ignore"):
+            beta = float(
+                new_grad @ (new_grad - grad) / max(grad @ grad, 1e-300)
+            )
+            beta = min(max(0.0, beta), 1e6)
+            direction = -new_grad + beta * direction
+        if not np.isfinite(direction).all():
+            direction = -new_grad
+        x, value, grad = new_x, new_value, new_grad
+    return OptimizeResult(x=x, value=value, iterations=iterations, converged=converged)
+
+
+def nelder_mead_minimize(
+    fun: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    max_iters: int = 200,
+    initial_step: float = 0.25,
+    tol: float = 1e-8,
+) -> OptimizeResult:
+    """Nelder-Mead simplex minimisation (standard coefficients)."""
+    x0 = np.asarray(x0, dtype=np.float64).ravel()
+    n = x0.size
+    simplex = [x0.copy()]
+    for i in range(n):
+        vertex = x0.copy()
+        vertex[i] += initial_step if vertex[i] == 0 else initial_step * abs(vertex[i]) + initial_step
+        simplex.append(vertex)
+    values = [float(fun(v)) for v in simplex]
+
+    alpha, gamma, rho_c, sigma = 1.0, 2.0, 0.5, 0.5
+    iterations = 0
+    for iterations in range(1, max_iters + 1):
+        order = np.argsort(values)
+        simplex = [simplex[i] for i in order]
+        values = [values[i] for i in order]
+        if abs(values[-1] - values[0]) < tol * (abs(values[0]) + tol):
+            break
+        centroid = np.mean(simplex[:-1], axis=0)
+        worst = simplex[-1]
+
+        reflected = centroid + alpha * (centroid - worst)
+        f_reflected = float(fun(reflected))
+        if values[0] <= f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+            continue
+        if f_reflected < values[0]:
+            expanded = centroid + gamma * (reflected - centroid)
+            f_expanded = float(fun(expanded))
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+            continue
+        contracted = centroid + rho_c * (worst - centroid)
+        f_contracted = float(fun(contracted))
+        if f_contracted < values[-1]:
+            simplex[-1], values[-1] = contracted, f_contracted
+            continue
+        # Shrink towards the best vertex.
+        best = simplex[0]
+        simplex = [best] + [best + sigma * (v - best) for v in simplex[1:]]
+        values = [values[0]] + [float(fun(v)) for v in simplex[1:]]
+
+    best_idx = int(np.argmin(values))
+    return OptimizeResult(
+        x=simplex[best_idx],
+        value=values[best_idx],
+        iterations=iterations,
+        converged=iterations < max_iters,
+    )

@@ -1,0 +1,171 @@
+"""PSGP: projected sparse Gaussian Process (the paper's baseline [9, 25]).
+
+The Projected Sequential GP tool the paper benchmarks implements the
+projected-process (DTC) approximation: all information is projected onto
+``m`` *active points* ``X_u``, with
+
+    q(y) = N(0, Q_ff + sigma^2 I),   Q_ff = K_fu K_uu^{-1} K_uf.
+
+Training maximises the approximate log marginal likelihood over the SE
+hyperparameters (derivative-free Nelder-Mead with a fixed iteration
+budget — the original tool's EP sweeps are likewise fixed-pass).  Every
+likelihood evaluation costs O(n m^2), so the training time grows
+steeply with the number of active points while accuracy saturates —
+the exact trade-off Fig. 13 plots.
+
+Active points are a uniform subsample of the training inputs (the
+original selects by information gain; selection policy does not change
+the cost/accuracy *shape* Fig. 13 reports, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_solve, solve_triangular
+
+from .kernels import SquaredExponentialKernel
+from .optimize import nelder_mead_minimize
+from .regression import robust_cholesky
+
+__all__ = ["ProjectedSparseGP", "select_active_points"]
+
+
+def select_active_points(
+    x: np.ndarray, m: int, seed: int = 0
+) -> np.ndarray:
+    """Uniform subsample of ``m`` rows of ``x`` (without replacement)."""
+    x = np.atleast_2d(x)
+    if m <= 0:
+        raise ValueError(f"need a positive number of active points, got {m}")
+    m = min(m, x.shape[0])
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(x.shape[0], size=m, replace=False)
+    return x[np.sort(idx)]
+
+
+class _LowRankPosterior:
+    """Shared DTC algebra: factorisations for predict/likelihood."""
+
+    def __init__(
+        self,
+        kernel: SquaredExponentialKernel,
+        x: np.ndarray,
+        y: np.ndarray,
+        x_active: np.ndarray,
+    ) -> None:
+        self.kernel = kernel
+        self.x_active = x_active
+        noise_var = kernel.theta2**2
+        k_uu = kernel.matrix(x_active)
+        k_uf = kernel.matrix(x_active, x)
+        self._luu, _ = robust_cholesky(k_uu)
+        # A = K_uu + sigma^{-2} K_uf K_fu  (the Woodbury inner matrix).
+        a = k_uu + (k_uf @ k_uf.T) / noise_var
+        self._la, _ = robust_cholesky(a)
+        self._beta = cho_solve((self._la, True), k_uf @ y) / noise_var
+        self._k_uf = k_uf
+        self._y = y
+        self._noise_var = noise_var
+
+    def predict(
+        self, x_star: np.ndarray, include_noise: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gaussian h-step-ahead prediction (see BaseForecaster.predict)."""
+        k_us = self.kernel.matrix(self.x_active, x_star)
+        mean = k_us.T @ self._beta
+        # var = k** - k_us^T K_uu^{-1} k_us + k_us^T A^{-1} k_us (+ noise)
+        v_uu = solve_triangular(self._luu, k_us, lower=True)
+        v_a = solve_triangular(self._la, k_us, lower=True)
+        prior = self.kernel.diag(x_star, noise=include_noise)
+        var = prior - np.sum(v_uu**2, axis=0) + np.sum(v_a**2, axis=0)
+        return mean, np.clip(var, 1e-12, None)
+
+    def log_marginal_likelihood(self) -> float:
+        """``log N(y; 0, Q_ff + sigma^2 I)`` via the inversion lemma."""
+        y, noise_var = self._y, self._noise_var
+        n = y.size
+        k_uf_y = self._k_uf @ y
+        inner = cho_solve((self._la, True), k_uf_y)
+        quad = (y @ y - (k_uf_y @ inner) / noise_var) / noise_var
+        logdet = (
+            2.0 * np.sum(np.log(np.diag(self._la)))
+            - 2.0 * np.sum(np.log(np.diag(self._luu)))
+            + n * np.log(noise_var)
+        )
+        return float(-0.5 * (quad + logdet + n * np.log(2.0 * np.pi)))
+
+    def trace_correction(self) -> float:
+        """``tr(K_ff - Q_ff)`` (used by the variational bound)."""
+        n = self._y.size
+        v = solve_triangular(self._luu, self._k_uf, lower=True)
+        return float(n * self.kernel.theta0**2 - np.sum(v**2))
+
+
+class ProjectedSparseGP:
+    """DTC sparse GP with ``m`` active points (PSGP baseline).
+
+    Parameters
+    ----------
+    n_active:
+        Number of active points (the Fig. 13 knob).
+    train_iters:
+        Nelder-Mead iterations for hyperparameter fitting; each costs
+        O(n * n_active^2).
+    """
+
+    def __init__(
+        self,
+        n_active: int = 32,
+        kernel: SquaredExponentialKernel | None = None,
+        train_iters: int = 40,
+        seed: int = 0,
+    ) -> None:
+        if n_active <= 0:
+            raise ValueError(f"n_active must be positive, got {n_active}")
+        self.n_active = n_active
+        self.kernel = kernel or SquaredExponentialKernel()
+        self.train_iters = train_iters
+        self.seed = seed
+        self._posterior: _LowRankPosterior | None = None
+        self.likelihood_evaluations = 0
+
+    def _objective_factory(self, x, y, x_active):
+        def objective(log_params: np.ndarray) -> float:
+            self.likelihood_evaluations += 1
+            try:
+                kernel = SquaredExponentialKernel.from_log_params(log_params)
+                post = _LowRankPosterior(kernel, x, y, x_active)
+                return -post.log_marginal_likelihood()
+            except np.linalg.LinAlgError:
+                return np.inf
+
+        return objective
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "ProjectedSparseGP":
+        """Select active points, fit hyperparameters, cache the posterior."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.shape[0] != y.size:
+            raise ValueError(f"{x.shape[0]} inputs but {y.size} targets")
+        x_active = select_active_points(x, self.n_active, seed=self.seed)
+        objective = self._objective_factory(x, y, x_active)
+        result = nelder_mead_minimize(
+            objective, self.kernel.log_params, max_iters=self.train_iters
+        )
+        self.kernel = SquaredExponentialKernel.from_log_params(result.x)
+        self._posterior = _LowRankPosterior(self.kernel, x, y, x_active)
+        return self
+
+    def predict(
+        self, x_star: np.ndarray, include_noise: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gaussian h-step-ahead prediction (see BaseForecaster.predict)."""
+        if self._posterior is None:
+            raise RuntimeError("fit() must be called first")
+        return self._posterior.predict(x_star, include_noise=include_noise)
+
+    def log_marginal_likelihood(self) -> float:
+        """log p(y | X, theta) of the fitted model."""
+        if self._posterior is None:
+            raise RuntimeError("fit() must be called first")
+        return self._posterior.log_marginal_likelihood()

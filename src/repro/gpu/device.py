@@ -1,0 +1,107 @@
+"""Simulated GPU device: memory accounting + kernel-time accounting.
+
+:class:`GpuDevice` is the substrate every GPU-resident structure in this
+reproduction runs on.  Numerical work happens in vectorised NumPy (the
+data-parallel shape of a CUDA grid); the device records
+
+* **time** — via :class:`repro.gpu.costmodel.GpuCostModel`, and
+* **memory** — via a malloc/free ledger bounded by the 6 GB the paper's
+  GTX TITAN offers, which drives the "max sensors per GPU" capacity
+  analysis of Fig. 12(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costmodel import DeviceSpec, GpuCostModel
+
+__all__ = ["GpuDevice", "GpuMemoryError", "Allocation"]
+
+
+class GpuMemoryError(MemoryError):
+    """Raised when an allocation exceeds the device's global memory."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Handle for one device-memory allocation."""
+
+    label: str
+    nbytes: int
+    serial: int
+
+
+class GpuDevice:
+    """One simulated GPU: launch kernels, allocate global memory."""
+
+    def __init__(self, spec: DeviceSpec | None = None) -> None:
+        self.spec = spec or DeviceSpec()
+        self.cost = GpuCostModel(spec=self.spec)
+        self._allocated = 0
+        self._serial = 0
+        self._live: dict[int, Allocation] = {}
+
+    # ------------------------------------------------------------- kernels
+    def launch(
+        self,
+        name: str,
+        n_blocks: int,
+        ops_per_thread: float,
+        threads_per_block: int = 256,
+    ) -> float:
+        """Account one kernel launch; see :class:`GpuCostModel.launch`."""
+        return self.cost.launch(name, n_blocks, ops_per_thread, threads_per_block)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total simulated kernel time since the last reset."""
+        return self.cost.elapsed_s
+
+    def reset_time(self) -> None:
+        """Zero the simulated-time ledger."""
+        self.cost.reset()
+
+    # -------------------------------------------------------------- memory
+    def malloc(self, nbytes: int, label: str = "buffer") -> Allocation:
+        """Reserve global memory; raises :class:`GpuMemoryError` when full."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"allocation size must be non-negative, got {nbytes}")
+        if self._allocated + nbytes > self.spec.memory_bytes:
+            raise GpuMemoryError(
+                f"cannot allocate {nbytes} bytes for {label!r}: "
+                f"{self._allocated} of {self.spec.memory_bytes} bytes in use"
+            )
+        self._serial += 1
+        handle = Allocation(label=label, nbytes=nbytes, serial=self._serial)
+        self._live[handle.serial] = handle
+        self._allocated += nbytes
+        return handle
+
+    def free(self, handle: Allocation) -> None:
+        """Release a previous allocation (idempotent frees are errors)."""
+        if handle.serial not in self._live:
+            raise KeyError(f"allocation {handle} is not live")
+        del self._live[handle.serial]
+        self._allocated -= handle.nbytes
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes currently allocated on the device."""
+        return self._allocated
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available on the device."""
+        return self.spec.memory_bytes - self._allocated
+
+    def live_allocations(self) -> list[Allocation]:
+        """Live allocations in allocation order."""
+        return sorted(self._live.values(), key=lambda a: a.serial)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"GpuDevice({self.spec.name!r}, allocated={self._allocated}, "
+            f"elapsed={self.cost.elapsed_s:.6f}s)"
+        )

@@ -1,0 +1,149 @@
+"""Simulated GPU kernels: DTW verification and k-selection.
+
+Each function performs the kernel's numerical work with vectorised NumPy
+(the data-parallel shape of the CUDA grid) and reports its operation
+counts to the device's cost model.  Abstract-op weights per primitive are
+module constants so the cost model stays inspectable and testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dtw.distance import dtw_batch
+from .device import GpuDevice
+
+__all__ = [
+    "OPS_PER_DTW_CELL",
+    "OPS_PER_LB_TERM",
+    "OPS_PER_SELECT_ELEM",
+    "GLOBAL_MEMORY_PENALTY",
+    "THREADS_PER_BLOCK",
+    "dtw_verification_kernel",
+    "full_dtw_kernel",
+    "k_select_kernel",
+]
+
+#: Abstract operations per banded-DTW DP cell (distance + 3-way min + add).
+OPS_PER_DTW_CELL = 8.0
+#: Abstract operations per LB_Keogh position (two clips, square, add).
+OPS_PER_LB_TERM = 6.0
+#: Abstract operations per element per k-selection pass.
+OPS_PER_SELECT_ELEM = 2.0
+#: Slowdown for kernels whose working set cannot live in shared memory.
+#: The unbanded warping matrix of GPUScan exceeds the 48 KB shared memory,
+#: forcing global-memory traffic ([60] reports ~4x).
+GLOBAL_MEMORY_PENALTY = 4.0
+#: CUDA block size used throughout (Appendix B.2's "small batch").
+THREADS_PER_BLOCK = 256
+
+
+def dtw_verification_kernel(
+    device: GpuDevice, query: np.ndarray, candidates: np.ndarray, rho: int
+) -> np.ndarray:
+    """Banded DTW of one query against many candidates (Algorithm 2).
+
+    One thread per candidate; the compressed ``2 x (2*rho + 2)`` warping
+    matrix fits in shared memory, so no global-memory penalty applies.
+    """
+    candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+    n = candidates.shape[0]
+    if n == 0:
+        return np.empty(0)
+    d = int(np.asarray(query).size)
+    cells = d * min(d, 2 * rho + 1)
+    n_blocks = -(-n // THREADS_PER_BLOCK)
+    device.launch(
+        "dtw_verify",
+        n_blocks=n_blocks,
+        ops_per_thread=cells * OPS_PER_DTW_CELL,
+        threads_per_block=THREADS_PER_BLOCK,
+    )
+    return dtw_batch(query, candidates, rho)
+
+
+def full_dtw_kernel(
+    device: GpuDevice, query: np.ndarray, candidates: np.ndarray
+) -> np.ndarray:
+    """Unbanded DTW (the GPUScan baseline of [60], Section 6.2.1).
+
+    The full ``d x d`` warping matrix cannot live in shared memory, so the
+    kernel pays the global-memory penalty on top of the larger cell count.
+    """
+    candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+    n = candidates.shape[0]
+    if n == 0:
+        return np.empty(0)
+    d = int(np.asarray(query).size)
+    n_blocks = -(-n // THREADS_PER_BLOCK)
+    device.launch(
+        "dtw_full",
+        n_blocks=n_blocks,
+        ops_per_thread=d * d * OPS_PER_DTW_CELL * GLOBAL_MEMORY_PENALTY,
+        threads_per_block=THREADS_PER_BLOCK,
+    )
+    return dtw_batch(query, candidates, rho=None)
+
+
+def k_select_kernel(
+    device: GpuDevice, values: np.ndarray, k: int
+) -> np.ndarray:
+    """Indices of the k smallest values via distributive partitioning [3].
+
+    Mirrors the paper's two improvements over [3]: one block handles one
+    query's selection (so many selections run concurrently as separate
+    launches here) and *all* k smallest are returned, not just the k-th.
+
+    The algorithm range-partitions into 256 buckets, keeps every bucket
+    strictly below the one containing the k-th value, and recurses into
+    that pivot bucket; each pass touches the surviving elements once.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("k_select expects a 1-D array")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    n = values.size
+    if n == 0:
+        raise ValueError("cannot select from an empty array")
+    k = min(k, n)
+
+    n_buckets = 256
+    selected: list[np.ndarray] = []
+    active = np.arange(n)
+    remaining = k
+    passes = 0
+    # Guaranteed to terminate: each pass either resolves ties exactly or
+    # strictly shrinks the active pivot bucket.
+    while remaining > 0:
+        passes += 1
+        active_values = values[active]
+        lo = float(active_values.min())
+        hi = float(active_values.max())
+        if lo == hi or passes > 64:
+            # All remaining candidates tie (or precision exhausted):
+            # take the first `remaining` of them.
+            selected.append(active[:remaining])
+            remaining = 0
+            break
+        scale = (n_buckets - 1) / (hi - lo)
+        buckets = np.minimum(
+            ((active_values - lo) * scale).astype(np.int64), n_buckets - 1
+        )
+        counts = np.bincount(buckets, minlength=n_buckets)
+        cumulative = np.cumsum(counts)
+        pivot = int(np.searchsorted(cumulative, remaining))
+        below = buckets < pivot
+        selected.append(active[below])
+        remaining -= int(below.sum())
+        active = active[buckets == pivot]
+
+    device.launch(
+        "k_select",
+        n_blocks=1,
+        ops_per_thread=passes * n * OPS_PER_SELECT_ELEM / THREADS_PER_BLOCK,
+        threads_per_block=THREADS_PER_BLOCK,
+    )
+    chosen = np.concatenate(selected) if selected else np.empty(0, dtype=int)
+    order = np.argsort(values[chosen], kind="stable")
+    return chosen[order]

@@ -1,0 +1,102 @@
+"""Extension study: how calibrated is each method's uncertainty?
+
+The paper scores predictive uncertainty with MNLPD only (Figs. 9-11).
+This extension unpacks that number with the diagnostics of
+:mod:`repro.metrics.calibration`: empirical coverage of the 95% band,
+mean calibration error across levels, and sharpness.  It is where the
+semi-lazy GP's *closed-form posterior* shows up most clearly against
+LazyKNN's neighbour-spread pseudo-variance and the AR predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.lazy_knn import LazyKNNForecaster
+from ..metrics.calibration import (
+    calibration_error,
+    interval_coverage,
+    sharpness,
+)
+from ..timeseries.datasets import make_dataset
+from .accuracy_experiments import AccuracyScale, smiler_config
+from .reporting import render_table
+from .runner import SMiLerForecaster, run_continuous
+
+__all__ = ["CalibrationStudy", "run_calibration_study"]
+
+
+@dataclass
+class CalibrationStudy:
+    """Per-method coverage/calibration/sharpness on one dataset."""
+
+    dataset: str
+    #: ``rows[method] = (coverage95, calibration_error, sharpness, mnlpd)``
+    rows: dict[str, tuple[float, float, float, float]]
+
+    def render(self) -> str:
+        """Render this result as an aligned text table."""
+        table = [
+            [method, f"{c95:.3f}", f"{ce:.3f}", f"{sh:.3f}", f"{nl:.3f}"]
+            for method, (c95, ce, sh, nl) in self.rows.items()
+        ]
+        return render_table(
+            ["method", "coverage@95%", "calib. error", "sharpness", "MNLPD"],
+            table,
+            title=(
+                f"Calibration study on {self.dataset} (extension of the "
+                "paper's MNLPD comparison)"
+            ),
+        )
+
+
+def run_calibration_study(
+    scale: AccuracyScale | None = None,
+    dataset: str = "ROAD",
+) -> CalibrationStudy:
+    """Score coverage/calibration/sharpness for GP, AR and LazyKNN."""
+    scale = scale or AccuracyScale(datasets=(dataset,))
+    ds = make_dataset(
+        dataset, n_sensors=scale.n_sensors, n_points=scale.n_points,
+        test_points=scale.test_points, seed=scale.seed,
+    )
+    h = min(scale.horizons)
+    factories = [
+        lambda: SMiLerForecaster(smiler_config(scale, "gp")),
+        lambda: SMiLerForecaster(smiler_config(scale, "ar")),
+        lambda: LazyKNNForecaster(
+            segment_length=scale.segment_length, k=32, rho=8
+        ),
+        lambda: LazyKNNForecaster(
+            segment_length=scale.segment_length, k=32, rho=8, bootstrap=64
+        ),
+    ]
+    rows: dict[str, tuple[float, float, float, float]] = {}
+    for factory in factories:
+        truths: list[float] = []
+        means: list[float] = []
+        variances: list[float] = []
+        mnlpds: list[float] = []
+        method = None
+        for sensor in range(ds.n_sensors):
+            history, tail = ds.sensor(sensor)
+            forecaster = factory()
+            result = run_continuous(
+                forecaster, history.values, tail, horizons=(h,),
+                n_steps=scale.steps, keep_predictions=True,
+            )
+            method = result.method
+            mnlpds.append(result.horizons[h].mnlpd)
+            for truth, mean, var in result.predictions[h]:
+                truths.append(truth)
+                means.append(mean)
+                variances.append(var)
+        rows[method] = (
+            interval_coverage(truths, means, variances, level=0.95),
+            calibration_error(truths, means, variances),
+            sharpness(variances),
+            float(np.mean(mnlpds)),
+        )
+    return CalibrationStudy(dataset=dataset, rows=rows)

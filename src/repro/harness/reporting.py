@@ -1,0 +1,88 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The paper's figures are line plots; offline we regenerate each one as an
+aligned text table (one row per x-value, one column per method) so the
+*shape* — who wins, by what factor, where curves cross — is readable in
+the benchmark output and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_series", "format_seconds"]
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly duration: ns/us/ms/s as appropriate."""
+    if seconds < 0:
+        raise ValueError(f"durations must be non-negative, got {seconds}")
+    if seconds == 0:
+        return "0s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    if seconds < 2 * 3600:
+        return f"{seconds / 60:.1f}min"
+    return f"{seconds / 3600:.2f}h"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with right-aligned numeric-ish columns."""
+    if not headers:
+        raise ValueError("headers must not be empty")
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        cells.append([_format_cell(c) for c in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    fmt: str = "{:.4f}",
+) -> str:
+    """A figure-as-table: x down the rows, one column per labelled series."""
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_values)} x-values"
+            )
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(fmt.format(series[name][i]) for name in series)])
+    return render_table(headers, rows, title=title)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)

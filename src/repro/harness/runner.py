@@ -1,0 +1,170 @@
+"""Continuous-prediction evaluation runner (Section 6.3.1 protocol).
+
+The paper's protocol: cut a tail segment off each sensor, then walk it
+step by step — predict h steps ahead for every horizon, reveal the true
+value, let online models update, repeat.  The runner drives anything
+that speaks the :class:`~repro.baselines.base.BaseForecaster` protocol;
+:class:`SMiLerForecaster` adapts the SMiLer system to it so all twelve
+methods are scored identically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.base import BaseForecaster
+from ..core.config import SMiLerConfig
+from ..core.smiler import SMiLer
+from ..gpu.device import GpuDevice
+from ..metrics.errors import mae, mnlpd, rmse
+
+__all__ = ["SMiLerForecaster", "HorizonScores", "RunResult", "run_continuous"]
+
+
+class SMiLerForecaster(BaseForecaster):
+    """Adapter: a SMiLer instance behind the common forecaster protocol.
+
+    SMiLer tracks its own stream (the search index owns the history), so
+    ``context`` is only used for sanity checking.
+    """
+
+    is_offline = False
+
+    def __init__(self, config: SMiLerConfig, device: GpuDevice | None = None) -> None:
+        self.config = config
+        self.device = device
+        self.name = "SMiLer-GP" if config.predictor == "gp" else "SMiLer-AR"
+        if not config.ensemble:
+            self.name += " (NE)"
+        elif not config.self_adaptive:
+            self.name += " (NS)"
+        self._smiler: SMiLer | None = None
+
+    @property
+    def smiler(self) -> SMiLer:
+        """The wrapped SMiLer instance (requires fit())."""
+        if self._smiler is None:
+            raise RuntimeError("fit() must be called first")
+        return self._smiler
+
+    def fit(self, history: np.ndarray) -> "SMiLerForecaster":
+        """Train on the historical stream (see BaseForecaster.fit)."""
+        self._smiler = SMiLer(
+            np.asarray(history, dtype=np.float64), self.config, device=self.device
+        )
+        return self
+
+    def predict(self, context: np.ndarray, horizon: int) -> tuple[float, float]:
+        """Gaussian h-step-ahead prediction (see BaseForecaster.predict)."""
+        output = self.smiler.predict(horizon=horizon)[horizon]
+        return output.mean, output.variance
+
+    def observe(self, value: float) -> None:
+        """Consume the newly revealed true value (see BaseForecaster.observe)."""
+        self.smiler.observe(value)
+
+
+@dataclass
+class HorizonScores:
+    """Scores of one method at one horizon."""
+
+    horizon: int
+    mae: float
+    rmse: float
+    mnlpd: float
+    n_scored: int
+
+
+@dataclass
+class RunResult:
+    """One (method, sensor) continuous-prediction run."""
+
+    method: str
+    horizons: dict[int, HorizonScores]
+    fit_seconds: float
+    predict_seconds_total: float
+    n_predictions: int
+    predictions: dict[int, list[tuple[float, float, float]]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def predict_seconds_per_query(self) -> float:
+        """Average wall seconds per prediction call."""
+        if self.n_predictions == 0:
+            return 0.0
+        return self.predict_seconds_total / self.n_predictions
+
+
+def run_continuous(
+    forecaster: BaseForecaster,
+    history: np.ndarray,
+    tail: np.ndarray,
+    horizons: tuple[int, ...] = (1,),
+    n_steps: int | None = None,
+    keep_predictions: bool = False,
+) -> RunResult:
+    """Fit on ``history``, then walk ``tail`` scoring every horizon.
+
+    At tail position ``i`` the context is ``history + tail[:i]`` and the
+    h-step prediction targets ``tail[i + h - 1]``; only predictions whose
+    target lies inside the tail are scored.
+    """
+    history = np.asarray(history, dtype=np.float64)
+    tail = np.asarray(tail, dtype=np.float64)
+    horizons = tuple(sorted(set(int(h) for h in horizons)))
+    if not horizons or horizons[0] <= 0:
+        raise ValueError(f"horizons must be positive, got {horizons}")
+    steps = tail.size if n_steps is None else min(n_steps, tail.size)
+    if steps <= max(horizons):
+        raise ValueError(
+            f"need more than {max(horizons)} steps to score horizon "
+            f"{max(horizons)}, got {steps}"
+        )
+
+    t0 = time.perf_counter()
+    forecaster.fit(history)
+    fit_seconds = time.perf_counter() - t0
+
+    # records[h] = list of (truth, mean, variance).
+    records: dict[int, list[tuple[float, float, float]]] = {h: [] for h in horizons}
+    stream = list(history)
+    predict_seconds = 0.0
+    n_predictions = 0
+    for i in range(steps):
+        context = np.asarray(stream)
+        for h in horizons:
+            if i + h - 1 >= steps:
+                continue  # target outside the evaluated window
+            t0 = time.perf_counter()
+            mean, var = forecaster.predict(context, h)
+            predict_seconds += time.perf_counter() - t0
+            n_predictions += 1
+            records[h].append((float(tail[i + h - 1]), mean, max(var, 1e-12)))
+        forecaster.observe(float(tail[i]))
+        stream.append(float(tail[i]))
+
+    scores = {}
+    for h in horizons:
+        rows = records[h]
+        truth = [r[0] for r in rows]
+        means = [r[1] for r in rows]
+        variances = [r[2] for r in rows]
+        scores[h] = HorizonScores(
+            horizon=h,
+            mae=mae(truth, means),
+            rmse=rmse(truth, means),
+            mnlpd=mnlpd(truth, means, variances),
+            n_scored=len(rows),
+        )
+    return RunResult(
+        method=forecaster.name,
+        horizons=scores,
+        fit_seconds=fit_seconds,
+        predict_seconds_total=predict_seconds,
+        n_predictions=n_predictions,
+        predictions=records if keep_predictions else {},
+    )

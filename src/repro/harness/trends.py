@@ -1,0 +1,64 @@
+"""Fig. 1 data: hardware trends motivating semi-lazy learning.
+
+The paper opens with four trend plots (2004-2014) arguing that modern
+hardware makes just-in-time model construction feasible.  The original
+sources (Intel ARK, Galloy's CPU-vs-GPU tables, McCallum's memory-price
+list, TechPowerUp) are reproduced here as small static tables per
+Appendix A, and the "figure" is regenerated as a text table.
+"""
+
+from __future__ import annotations
+
+from .reporting import render_series
+
+__all__ = [
+    "CPU_CORES_BY_YEAR",
+    "GPU_TFLOPS_BY_YEAR",
+    "MEMORY_PRICE_BY_YEAR",
+    "GPU_MEMORY_BY_YEAR",
+    "render_fig1",
+]
+
+#: Intel Xeon E5/5000-family core counts (Fig. 1a, ark.intel.com).
+CPU_CORES_BY_YEAR = {
+    2004: 1, 2005: 2, 2006: 2, 2007: 4, 2008: 4, 2009: 4,
+    2010: 6, 2011: 8, 2012: 8, 2013: 12, 2014: 18,
+}
+
+#: NVIDIA GeForce single-precision TFLOPS (Fig. 1b, Galloy).
+GPU_TFLOPS_BY_YEAR = {
+    2004: 0.05, 2005: 0.17, 2006: 0.35, 2007: 0.50, 2008: 0.93,
+    2009: 1.06, 2010: 1.34, 2011: 1.58, 2012: 3.09, 2013: 4.50,
+    2014: 5.07,
+}
+
+#: CPU memory price in $/MB (Fig. 1c, jcmit.com).
+MEMORY_PRICE_BY_YEAR = {
+    2004: 0.176, 2005: 0.112, 2006: 0.088, 2007: 0.037, 2008: 0.015,
+    2009: 0.012, 2010: 0.011, 2011: 0.007, 2012: 0.005, 2013: 0.006,
+    2014: 0.008,
+}
+
+#: NVIDIA GeForce flagship memory size in GB (Fig. 1d, TechPowerUp).
+GPU_MEMORY_BY_YEAR = {
+    2004: 0.25, 2005: 0.5, 2006: 0.75, 2007: 1.0, 2008: 1.0,
+    2009: 1.5, 2010: 1.5, 2011: 3.0, 2012: 4.0, 2013: 6.0,
+    2014: 12.0,
+}
+
+
+def render_fig1() -> str:
+    """The four trend series as one text table (Fig. 1 a-d)."""
+    years = sorted(CPU_CORES_BY_YEAR)
+    return render_series(
+        "year",
+        years,
+        {
+            "CPU cores": [float(CPU_CORES_BY_YEAR[y]) for y in years],
+            "GPU TFLOPS": [GPU_TFLOPS_BY_YEAR[y] for y in years],
+            "$/MB": [MEMORY_PRICE_BY_YEAR[y] for y in years],
+            "GPU mem (GB)": [GPU_MEMORY_BY_YEAR[y] for y in years],
+        },
+        title="Fig. 1: computing trends 2004-2014 (per Appendix A sources)",
+        fmt="{:.3f}",
+    )

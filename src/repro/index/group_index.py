@@ -1,0 +1,162 @@
+"""Group-level index of the SMiLer Index (Section 4.3.2, Algorithm 1).
+
+Keywords are Catenated Sliding Window Groups (CSGs) of each item query;
+posting lists hold the window-enhanced lower bound ``LB_w`` (Theorem 4.3)
+between the item query and every candidate segment:
+
+    LB_w(IQ_i, C_{t,d_i}) = max( sum_j LB_EQ(SW_{b+j*omega}, DW_{r-j}),
+                                 sum_j LB_EC(SW_{b+j*omega}, DW_{r-j}) )
+
+The construction exploits both reuse opportunities of Remark 2: for each
+``CSG_b`` the shift-sums are accumulated incrementally over ``m`` — the
+partial sum after ``m`` windows *is* the bound of the item query whose
+CSG has exactly ``m`` windows (the suffix property), so all item queries'
+bounds fall out of one pass over the window-level posting lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..gpu.device import GpuDevice
+from ..gpu.kernels import THREADS_PER_BLOCK
+from ..timeseries.windows import aligned_segment_start, csg_size
+from .window_index import WindowLevelIndex
+
+__all__ = ["GroupLevelIndex", "ItemLowerBounds"]
+
+#: Abstract ops per shift-sum element (two adds + one max).
+_OPS_PER_SUM_ELEM = 3.0
+
+
+@dataclass
+class ItemLowerBounds:
+    """``LB_w`` for one item query against every candidate start.
+
+    ``lbeq``/``lbec`` are indexed by segment start ``t`` (length
+    ``series_len - d + 1``).  ``covered`` marks starts that received a
+    bound; uncovered starts (empty CSG) keep bound 0 and must always be
+    verified.
+    """
+
+    item_length: int
+    lbeq: np.ndarray
+    lbec: np.ndarray
+    covered: np.ndarray
+
+    def enhanced(self) -> np.ndarray:
+        """``LB_en``-style combined bound ``max(LB_EQ, LB_EC)``."""
+        return np.maximum(self.lbeq, self.lbec)
+
+    def bound(self, mode: str) -> np.ndarray:
+        """Select the bound variant: ``"en"``, ``"eq"`` or ``"ec"``."""
+        if mode == "en":
+            return self.enhanced()
+        if mode == "eq":
+            return self.lbeq
+        if mode == "ec":
+            return self.lbec
+        raise ValueError(f"unknown lower-bound mode {mode!r}")
+
+
+class GroupLevelIndex:
+    """Shift-sum machine turning window posting lists into ``LB_w``."""
+
+    def __init__(
+        self,
+        window_index: WindowLevelIndex,
+        item_lengths: tuple[int, ...],
+        device: GpuDevice | None = None,
+    ) -> None:
+        lengths = tuple(sorted(set(int(d) for d in item_lengths)))
+        if not lengths:
+            raise ValueError("at least one item length is required")
+        if lengths[0] <= 0:
+            raise ValueError(f"item lengths must be positive, got {lengths}")
+        if lengths[-1] != window_index.master_length:
+            raise ValueError(
+                f"longest item length {lengths[-1]} must equal the master "
+                f"query length {window_index.master_length}"
+            )
+        self.window_index = window_index
+        self.item_lengths = lengths
+        self.device = device or window_index.device
+
+    def compute(self) -> dict[int, ItemLowerBounds]:
+        """One pass of Algorithm 1: bounds for every item query."""
+        wi = self.window_index
+        omega = wi.omega
+        n_dw = wi.n_dw
+        series_len = wi.series_length
+        lbeq_mat, lbec_mat = wi.posting_matrices()
+
+        results = {
+            d: ItemLowerBounds(
+                item_length=d,
+                lbeq=np.zeros(series_len - d + 1),
+                lbec=np.zeros(series_len - d + 1),
+                covered=np.zeros(series_len - d + 1, dtype=bool),
+            )
+            for d in self.item_lengths
+        }
+        if n_dw == 0:
+            return results
+
+        total_sum_elements = 0
+        for b in range(omega):
+            # Item queries whose CSG_{i,b} has m windows, grouped by m.
+            m_of_item = {d: csg_size(d, b, omega) for d in self.item_lengths}
+            max_m = max(m_of_item.values())
+            if max_m == 0:
+                continue
+            peq = np.zeros(n_dw)
+            pec = np.zeros(n_dw)
+            for m in range(1, max_m + 1):
+                w = b + (m - 1) * omega
+                if w >= wi.n_sw:
+                    break
+                # P_m[r] = P_{m-1}[r] + M[w, r - (m - 1)]  (shift-sum).
+                shift = m - 1
+                peq[shift:] += lbeq_mat[w, : n_dw - shift]
+                pec[shift:] += lbec_mat[w, : n_dw - shift]
+                total_sum_elements += 2 * (n_dw - shift)
+                for d, m_i in m_of_item.items():
+                    if m_i != m:
+                        continue
+                    self._emit(results[d], peq, pec, b, m, omega, series_len)
+        self.device.launch(
+            "group_index_sum",
+            n_blocks=omega,
+            ops_per_thread=(
+                -(-total_sum_elements // (omega * THREADS_PER_BLOCK))
+                * _OPS_PER_SUM_ELEM
+            ),
+            threads_per_block=THREADS_PER_BLOCK,
+        )
+        return results
+
+    @staticmethod
+    def _emit(
+        out: ItemLowerBounds,
+        peq: np.ndarray,
+        pec: np.ndarray,
+        b: int,
+        m: int,
+        omega: int,
+        series_len: int,
+    ) -> None:
+        """Write the partial sums into the candidate-start arrays."""
+        d = out.item_length
+        n_dw = peq.size
+        rs = np.arange(m - 1, n_dw)
+        if rs.size == 0:
+            return
+        offset = aligned_segment_start(d, b, m - 1, omega)
+        ts = offset + (rs - (m - 1)) * omega
+        valid = (ts >= 0) & (ts + d <= series_len)
+        ts, rs = ts[valid], rs[valid]
+        out.lbeq[ts] = peq[rs]
+        out.lbec[ts] = pec[rs]
+        out.covered[ts] = True

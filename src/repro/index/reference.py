@@ -1,0 +1,72 @@
+"""Literal reference implementation of Algorithm 1 (Appendix D).
+
+A straight transcription of the paper's pseudo-code — one "thread" per
+(CSG, DW) pair walking the posting lists in suffix order — used as the
+oracle the vectorised :class:`~repro.index.group_index.GroupLevelIndex`
+is tested against.  Deliberately slow and deliberately shaped like the
+printed algorithm, comments included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..timeseries.windows import csg_size
+from .group_index import ItemLowerBounds
+from .window_index import WindowLevelIndex
+
+__all__ = ["algorithm1_reference"]
+
+
+def algorithm1_reference(
+    window_index: WindowLevelIndex, item_lengths: tuple[int, ...]
+) -> dict[int, ItemLowerBounds]:
+    """Compute every item query's ``LB_w`` exactly as Algorithm 1 prints it."""
+    lengths = tuple(sorted(set(int(d) for d in item_lengths)))
+    omega = window_index.omega
+    n_dw = window_index.n_dw
+    series_len = window_index.series_length
+    lbeq_mat, lbec_mat = window_index.posting_matrices()
+
+    results = {
+        d: ItemLowerBounds(
+            item_length=d,
+            lbeq=np.zeros(series_len - d + 1),
+            lbec=np.zeros(series_len - d + 1),
+            covered=np.zeros(series_len - d + 1, dtype=bool),
+        )
+        for d in lengths
+    }
+
+    # for each CSG_b of master query MQ do              (Algorithm 1, l.1)
+    for b in range(omega):
+        # for each disjoint window DW_r of C do                       (l.2)
+        for r in range(n_dw):
+            j = 0          # count window number                      (l.3)
+            i = 0          # count item query number                  (l.4)
+            d = b + omega  # omega is window length                   (l.5)
+            sum_eq = 0.0
+            sum_ec = 0.0
+            # while i < n do                                          (l.6)
+            while i < len(lengths):
+                w = b + j * omega
+                if w >= window_index.n_sw or r - j < 0:
+                    break
+                # access window level index                       (l.7-l.8)
+                sum_eq += lbeq_mat[w, r - j]
+                sum_ec += lbec_mat[w, r - j]
+                # if d + omega > |IQ_i| and d <= |IQ_i| then           (l.9)
+                while i < len(lengths) and d + omega > lengths[i] >= d:
+                    d_i = lengths[i]
+                    if csg_size(d_i, b, omega) == j + 1:
+                        # t <- (r - j) * omega - (d - b) % omega      (l.10)
+                        t = (r - j) * omega - (d_i - b) % omega
+                        if 0 <= t <= series_len - d_i:
+                            # LB_w <- max{LB_q, LB_c}; store    (l.11-l.12)
+                            results[d_i].lbeq[t] = sum_eq
+                            results[d_i].lbec[t] = sum_ec
+                            results[d_i].covered[t] = True
+                    i += 1  # for next item query                     (l.13)
+                j += 1
+                d += omega  # (l.14)
+    return results

@@ -1,0 +1,219 @@
+"""(Continuous) Suffix kNN Search (Definition 4.1, Section 4.3.3).
+
+The :class:`SuffixKnnEngine` glues the two index levels to the
+filter → verify → select pipeline:
+
+* **Filtering** — drop candidates whose group-level bound exceeds the
+  threshold ``tau_i``.  Initial queries seed ``tau_i`` from a pool of
+  candidates with the smallest lower bounds; continuous queries reuse
+  the previous step's kNN segments (Section 4.3.3).  The pool is
+  verified and ``tau_i`` is its k-th smallest *true* DTW — a provable
+  upper bound on the true k-th NN distance (the pool is a subset of all
+  candidates), so the search stays exact.  Two refinements over the
+  paper's wording: the pool holds a few multiples of k (a single
+  smallest-LB candidate can have a large true distance, which would
+  disable filtering), and we use the pool's k-th smallest DTW rather
+  than the DTW of the k-th-by-LB candidate (which can *under*-estimate
+  the k-th NN distance on adversarial data and lose exactness).
+* **Verification** — banded DTW (compressed-warping-matrix kernel) on
+  the unfiltered candidates, batched on the simulated GPU.
+* **Selection** — the device k-selection kernel ([3] with the paper's
+  two improvements).
+
+`step()` advances one continuous-prediction tick: the observed point is
+appended, the window level is ring-updated (Remark 1) and the search
+repeats with threshold reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..gpu.device import GpuDevice
+from ..gpu.kernels import dtw_verification_kernel, k_select_kernel
+from .group_index import GroupLevelIndex, ItemLowerBounds
+from .window_index import WindowLevelIndex
+
+__all__ = ["SuffixSearchConfig", "SuffixKnnEngine", "SuffixKnnAnswer"]
+
+
+@dataclass(frozen=True)
+class SuffixSearchConfig:
+    """Search-step parameters (paper defaults from Table 2)."""
+
+    item_lengths: tuple[int, ...] = (32, 64, 96)
+    k_max: int = 32
+    omega: int = 16
+    rho: int = 8
+    margin: int = 1
+    lb_mode: str = "en"
+    reuse_threshold: bool = True
+
+    def __post_init__(self) -> None:
+        if self.k_max <= 0:
+            raise ValueError(f"k_max must be positive, got {self.k_max}")
+        if self.margin < 1:
+            raise ValueError(
+                f"margin must be at least 1 (the h-step target of a "
+                f"candidate must lie strictly in the past), got {self.margin}"
+            )
+        if self.lb_mode not in ("en", "eq", "ec"):
+            raise ValueError(f"unknown lb_mode {self.lb_mode!r}")
+
+    @property
+    def master_length(self) -> int:
+        """Length of the master query (the longest item query)."""
+        return max(self.item_lengths)
+
+
+@dataclass
+class SuffixKnnAnswer:
+    """kNN answer for one item query plus pipeline accounting."""
+
+    item_length: int
+    starts: np.ndarray
+    distances: np.ndarray
+    candidates_total: int = 0
+    candidates_unfiltered: int = 0
+    verification_sim_s: float = 0.0
+
+    def top(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The k nearest of the stored (k_max-sized) answer."""
+        return self.starts[:k], self.distances[:k]
+
+
+class SuffixKnnEngine:
+    """Continuous Suffix kNN Search over one sensor's history."""
+
+    def __init__(
+        self,
+        series_values: np.ndarray,
+        config: SuffixSearchConfig | None = None,
+        device: GpuDevice | None = None,
+        master_query: np.ndarray | None = None,
+    ) -> None:
+        self.config = config or SuffixSearchConfig()
+        self.device = device or GpuDevice()
+        series_values = np.asarray(series_values, dtype=np.float64)
+        if master_query is None:
+            master_query = series_values[-self.config.master_length :]
+        master_query = np.asarray(master_query, dtype=np.float64)
+
+        self.window_index = WindowLevelIndex(
+            series_values,
+            master_length=self.config.master_length,
+            omega=self.config.omega,
+            rho=self.config.rho,
+            device=self.device,
+        )
+        self.group_index = GroupLevelIndex(
+            self.window_index, self.config.item_lengths, device=self.device
+        )
+        self.window_index.build(master_query)
+        self._master_query = master_query.copy()
+        self._previous_knn: dict[int, np.ndarray] = {}
+
+    # ---------------------------------------------------------------- state
+    @property
+    def series(self) -> np.ndarray:
+        """Current series contents (read-only view)."""
+        return self.window_index.series
+
+    @property
+    def master_query(self) -> np.ndarray:
+        """Current master query values."""
+        return self._master_query
+
+    def item_query(self, d: int) -> np.ndarray:
+        """``IQ_i``: the d-length suffix of the master query."""
+        return self._master_query[self._master_query.size - d :]
+
+    # --------------------------------------------------------------- search
+    def search(self) -> dict[int, SuffixKnnAnswer]:
+        """Run the Suffix kNN Search for every item query."""
+        bounds = self.group_index.compute()
+        return {
+            d: self._search_one(d, bounds[d]) for d in self.config.item_lengths
+        }
+
+    def step(self, new_point: float) -> dict[int, SuffixKnnAnswer]:
+        """Advance one continuous tick, then search with reuse."""
+        self.window_index.step(new_point)
+        self._master_query = np.concatenate(
+            [self._master_query[1:], [float(new_point)]]
+        )
+        return self.search()
+
+    # -------------------------------------------------------------- helpers
+    def _candidate_mask(self, d: int) -> np.ndarray:
+        """Valid starts: the h-step target must already be observed."""
+        n = self.window_index.series_length
+        n_starts = n - d + 1
+        mask = np.zeros(n_starts, dtype=bool)
+        last_valid = n - d - self.config.margin
+        if last_valid >= 0:
+            mask[: last_valid + 1] = True
+        return mask
+
+    def _search_one(self, d: int, lbs: ItemLowerBounds) -> SuffixKnnAnswer:
+        cfg = self.config
+        series = self.window_index.series
+        query = self.item_query(d)
+        mask = self._candidate_mask(d)
+        starts = np.flatnonzero(mask)
+        if starts.size == 0:
+            raise ValueError(
+                f"no candidates for item length {d}: series too short"
+            )
+        k = min(cfg.k_max, starts.size)
+        bound = lbs.bound(cfg.lb_mode)[starts]
+        segments = sliding_window_view(series, d)
+
+        before = self.device.elapsed_s
+
+        # --- threshold tau_i -------------------------------------------------
+        prev = self._previous_knn.get(d)
+        if cfg.reuse_threshold and prev is not None:
+            # Previous kNN segments are near-optimal for the barely-moved
+            # query; their k-th smallest current DTW is a tight threshold.
+            seed_starts = prev[(prev >= starts[0]) & (prev <= starts[-1])]
+            if seed_starts.size < k:
+                extra = starts[np.argsort(bound, kind="stable")[:k]]
+                seed_starts = np.union1d(seed_starts, extra)
+        else:
+            pool = min(max(4 * k, 64), starts.size)
+            seed_starts = starts[np.argpartition(bound, pool - 1)[:pool]]
+        seed_distances = dtw_verification_kernel(
+            self.device, query, segments[seed_starts], cfg.rho
+        )
+        tau = float(np.partition(seed_distances, k - 1)[k - 1])
+
+        # --- filtering --------------------------------------------------------
+        unfiltered = starts[bound <= tau + 1e-12]
+        # Seeds are already verified; drop them from the batch.
+        to_verify = np.setdiff1d(unfiltered, seed_starts, assume_unique=False)
+
+        # --- verification -----------------------------------------------------
+        distances = dtw_verification_kernel(
+            self.device, query, segments[to_verify], cfg.rho
+        )
+        all_starts = np.concatenate([seed_starts, to_verify])
+        all_distances = np.concatenate([seed_distances, distances])
+
+        # --- selection ----------------------------------------------------------
+        top = k_select_kernel(self.device, all_distances, k)
+        answer_starts = all_starts[top]
+        answer_distances = all_distances[top]
+        self._previous_knn[d] = answer_starts.copy()
+
+        return SuffixKnnAnswer(
+            item_length=d,
+            starts=answer_starts,
+            distances=answer_distances,
+            candidates_total=int(starts.size),
+            candidates_unfiltered=int(unfiltered.size),
+            verification_sim_s=self.device.elapsed_s - before,
+        )

@@ -1,0 +1,20 @@
+"""Evaluation measures: MAE, RMSE, MNLPD, calibration diagnostics."""
+
+from .calibration import (
+    calibration_error,
+    interval_coverage,
+    pit_values,
+    sharpness,
+)
+from .errors import mae, mnlpd, nlpd_terms, rmse
+
+__all__ = [
+    "calibration_error",
+    "interval_coverage",
+    "pit_values",
+    "sharpness",
+    "mae",
+    "mnlpd",
+    "nlpd_terms",
+    "rmse",
+]

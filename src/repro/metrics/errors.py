@@ -1,0 +1,60 @@
+"""Evaluation measures (Section 6.3.1): MAE and MNLPD (plus RMSE).
+
+* **MAE** — mean absolute error between predicted means and true values,
+* **MNLPD** — mean negative log predictive density: the average of
+  ``-log N(y_true; mean, variance)``.  Scores *both* accuracy and the
+  quality of the predictive uncertainty; over-confident wrong predictions
+  are punished hard (this is where SMiLer-GP beats SMiLer-AR/LazyKNN).
+
+Smaller is better for all measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mae", "rmse", "mnlpd", "nlpd_terms"]
+
+_LOG_2PI = np.log(2.0 * np.pi)
+
+
+def _paired(truth, predictions) -> tuple[np.ndarray, np.ndarray]:
+    truth = np.asarray(truth, dtype=np.float64).ravel()
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    if truth.size != predictions.size:
+        raise ValueError(
+            f"{truth.size} true values but {predictions.size} predictions"
+        )
+    if truth.size == 0:
+        raise ValueError("cannot score zero predictions")
+    return truth, predictions
+
+
+def mae(truth, predictions) -> float:
+    """Mean absolute error."""
+    truth, predictions = _paired(truth, predictions)
+    return float(np.mean(np.abs(truth - predictions)))
+
+
+def rmse(truth, predictions) -> float:
+    """Root mean squared error."""
+    truth, predictions = _paired(truth, predictions)
+    return float(np.sqrt(np.mean((truth - predictions) ** 2)))
+
+
+def nlpd_terms(truth, means, variances) -> np.ndarray:
+    """Per-point negative log predictive density under ``N(mean, var)``."""
+    truth, means = _paired(truth, means)
+    variances = np.asarray(variances, dtype=np.float64).ravel()
+    if variances.size != truth.size:
+        raise ValueError(
+            f"{truth.size} true values but {variances.size} variances"
+        )
+    if (variances <= 0).any():
+        raise ValueError("predictive variances must be positive")
+    return 0.5 * (_LOG_2PI + np.log(variances) + (truth - means) ** 2 / variances)
+
+
+def mnlpd(truth, means, variances) -> float:
+    """Mean negative log predictive density (smaller is better)."""
+    return float(np.mean(nlpd_terms(truth, means, variances)))

@@ -1,0 +1,215 @@
+"""A deployment-shaped facade: register sensors, ingest readings, serve
+forecasts.
+
+:class:`PredictionService` wraps the per-sensor SMiLer machinery in the
+API an application backend actually calls:
+
+* ``register(sensor_id, history)`` — admit a sensor (z-normalisation is
+  handled internally; forecasts are served on the *raw* scale),
+* ``ingest(sensor_id, value)`` — one new raw reading,
+* ``forecast(sensor_id, horizon)`` — raw-scale mean, standard deviation
+  and a central interval,
+* ``snapshot(directory)`` / ``restore(directory)`` — persist every
+  sensor's state across restarts,
+* ``status()`` — fleet-level diagnostics.
+
+The service is synchronous and single-threaded by design (SMiLer's step
+cost is milliseconds; a sensor fleet at 5-10 minute sampling needs no
+concurrency) — callers that want parallelism shard sensors across
+processes exactly as the paper shards them across GPUs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erfinv
+
+from .core.config import SMiLerConfig
+from .core.persistence import load_smiler, save_smiler
+from .core.smiler import SMiLer
+from .gpu.device import GpuDevice
+from .timeseries.series import ZNormStats
+
+__all__ = ["Forecast", "PredictionService"]
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """A raw-scale forecast for one sensor at one horizon."""
+
+    sensor_id: str
+    horizon: int
+    mean: float
+    std: float
+    interval_low: float
+    interval_high: float
+    level: float
+
+    def as_dict(self) -> dict:
+        """JSON-friendly record."""
+        return {
+            "sensor_id": self.sensor_id,
+            "horizon": self.horizon,
+            "mean": self.mean,
+            "std": self.std,
+            "interval": [self.interval_low, self.interval_high],
+            "level": self.level,
+        }
+
+
+class PredictionService:
+    """Multi-sensor forecast service on one simulated device."""
+
+    def __init__(
+        self,
+        config: SMiLerConfig | None = None,
+        device: GpuDevice | None = None,
+        min_history: int = 256,
+    ) -> None:
+        if min_history <= 0:
+            raise ValueError(f"min_history must be positive, got {min_history}")
+        self.config = config or SMiLerConfig()
+        self.device = device or GpuDevice()
+        self.min_history = min_history
+        self._sensors: dict[str, SMiLer] = {}
+        self._norms: dict[str, ZNormStats] = {}
+
+    # ------------------------------------------------------------ lifecycle
+    def register(self, sensor_id: str, history: np.ndarray) -> None:
+        """Admit a sensor with its raw history."""
+        if sensor_id in self._sensors:
+            raise ValueError(f"sensor {sensor_id!r} is already registered")
+        history = np.asarray(history, dtype=np.float64)
+        if history.size < self.min_history:
+            raise ValueError(
+                f"sensor {sensor_id!r} needs at least {self.min_history} "
+                f"historical points, got {history.size}"
+            )
+        if not np.isfinite(history).all():
+            raise ValueError(
+                f"sensor {sensor_id!r} history contains non-finite values; "
+                "repair with repro.timeseries.fill_missing first"
+            )
+        std = float(np.std(history))
+        stats = ZNormStats(mean=float(np.mean(history)), std=max(std, 1e-12))
+        smiler = SMiLer(
+            stats.apply(history), self.config, device=self.device,
+            sensor_id=sensor_id,
+        )
+        self.device.malloc(smiler.memory_bytes(), label=sensor_id)
+        self._sensors[sensor_id] = smiler
+        self._norms[sensor_id] = stats
+
+    def deregister(self, sensor_id: str) -> None:
+        """Remove a sensor from the service."""
+        self._require(sensor_id)
+        del self._sensors[sensor_id]
+        del self._norms[sensor_id]
+
+    @property
+    def sensor_ids(self) -> list[str]:
+        """Registered sensor identifiers, sorted."""
+        return sorted(self._sensors)
+
+    def _require(self, sensor_id: str) -> SMiLer:
+        if sensor_id not in self._sensors:
+            raise KeyError(f"unknown sensor {sensor_id!r}")
+        return self._sensors[sensor_id]
+
+    # --------------------------------------------------------------- serving
+    def ingest(self, sensor_id: str, value: float) -> None:
+        """Feed one new raw reading (auto-tunes and advances the index)."""
+        smiler = self._require(sensor_id)
+        value = float(value)
+        if not np.isfinite(value):
+            raise ValueError(
+                f"non-finite reading for {sensor_id!r}; impute before ingest"
+            )
+        smiler.observe(self._norms[sensor_id].apply(np.array([value]))[0])
+
+    def forecast(
+        self, sensor_id: str, horizon: int | None = None, level: float = 0.95
+    ) -> Forecast:
+        """Raw-scale forecast with a central predictive interval."""
+        if not 0.0 < level < 1.0:
+            raise ValueError(f"level must be in (0, 1), got {level}")
+        smiler = self._require(sensor_id)
+        horizon = horizon or min(self.config.horizons)
+        output = smiler.predict(horizon=horizon)[horizon]
+        stats = self._norms[sensor_id]
+        mean = float(stats.invert(np.array([output.mean]))[0])
+        std = float(np.sqrt(stats.invert_variance(np.array([output.variance]))[0]))
+        z = float(np.sqrt(2.0) * erfinv(level))
+        return Forecast(
+            sensor_id=sensor_id, horizon=horizon, mean=mean, std=std,
+            interval_low=mean - z * std, interval_high=mean + z * std,
+            level=level,
+        )
+
+    def forecast_all(
+        self, horizon: int | None = None, level: float = 0.95
+    ) -> dict[str, Forecast]:
+        """Forecasts for every registered sensor."""
+        return {
+            sensor_id: self.forecast(sensor_id, horizon, level)
+            for sensor_id in self.sensor_ids
+        }
+
+    # ------------------------------------------------------------ snapshots
+    def snapshot(self, directory) -> list[pathlib.Path]:
+        """Persist every sensor's state; returns the written paths."""
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for sensor_id, smiler in self._sensors.items():
+            path = directory / f"{sensor_id}.npz"
+            save_smiler(smiler, path)
+            paths.append(path)
+        # Normalisation stats ride along in one extra archive.
+        norms = {
+            f"{sid}_mean": np.array([st.mean])
+            for sid, st in self._norms.items()
+        }
+        norms.update(
+            {f"{sid}_std": np.array([st.std]) for sid, st in self._norms.items()}
+        )
+        np.savez(directory / "_norms.npz", **norms)
+        paths.append(directory / "_norms.npz")
+        return paths
+
+    def restore(self, directory) -> None:
+        """Load every snapshotted sensor into this (empty) service."""
+        if self._sensors:
+            raise RuntimeError("restore() requires an empty service")
+        directory = pathlib.Path(directory)
+        norm_path = directory / "_norms.npz"
+        if not norm_path.exists():
+            raise FileNotFoundError(f"no snapshot at {directory}")
+        with np.load(norm_path) as archive:
+            raw = {name: float(archive[name][0]) for name in archive.files}
+        for path in sorted(directory.glob("*.npz")):
+            if path.name == "_norms.npz":
+                continue
+            smiler = load_smiler(path, device=self.device)
+            sensor_id = smiler.sensor_id
+            self._sensors[sensor_id] = smiler
+            self._norms[sensor_id] = ZNormStats(
+                mean=raw[f"{sensor_id}_mean"], std=raw[f"{sensor_id}_std"]
+            )
+            self.device.malloc(smiler.memory_bytes(), label=sensor_id)
+
+    # ------------------------------------------------------------- status
+    def status(self) -> dict:
+        """Fleet diagnostics: memory, simulated time, per-sensor state."""
+        return {
+            "n_sensors": len(self._sensors),
+            "device_memory_bytes": self.device.allocated_bytes,
+            "device_sim_seconds": self.device.elapsed_s,
+            "sensors": {
+                sensor_id: smiler.diagnostics()
+                for sensor_id, smiler in self._sensors.items()
+            },
+        }

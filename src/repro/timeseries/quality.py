@@ -1,0 +1,126 @@
+"""Data-quality screening for sensor streams.
+
+Semi-lazy prediction is only as good as the history it retrieves from,
+so a deployment should screen streams before registering them.  The
+report flags the failure modes the failure-injection tests exercise:
+
+* missing values (NaN),
+* stuck-at runs (a sensor repeating one value),
+* MAD-based outliers (data-poisoning candidates — a single absurd value
+  lands in retrieved neighbourhoods forever),
+* near-zero variance (nothing to normalise or predict).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QualityReport", "assess_quality", "longest_constant_run"]
+
+
+def longest_constant_run(values: np.ndarray) -> int:
+    """Length of the longest run of identical consecutive values."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0
+    change = np.flatnonzero(values[1:] != values[:-1])
+    if change.size == 0:
+        return int(values.size)
+    run_bounds = np.concatenate([[-1], change, [values.size - 1]])
+    return int(np.max(np.diff(run_bounds)))
+
+
+@dataclass
+class QualityReport:
+    """Screening result for one stream."""
+
+    n_points: int
+    missing_fraction: float
+    longest_stuck_run: int
+    outlier_fraction: float
+    std: float
+    issues: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no issues were flagged."""
+        return not self.issues
+
+    def render(self) -> str:
+        """Render this result as an aligned text table."""
+        lines = [
+            f"points: {self.n_points}",
+            f"missing: {self.missing_fraction:.1%}",
+            f"longest stuck run: {self.longest_stuck_run}",
+            f"outliers (>8 MAD): {self.outlier_fraction:.2%}",
+            f"std: {self.std:.4g}",
+        ]
+        if self.issues:
+            lines.append("issues: " + "; ".join(self.issues))
+        else:
+            lines.append("issues: none")
+        return "\n".join(lines)
+
+
+def assess_quality(
+    values: np.ndarray,
+    max_missing: float = 0.05,
+    max_stuck_run: int = 288,
+    max_outliers: float = 0.01,
+    min_std: float = 1e-9,
+) -> QualityReport:
+    """Screen a raw stream; thresholds default to sensible sensor limits.
+
+    ``max_stuck_run`` defaults to 288 samples (a full day at 5-minute
+    sampling) — real car parks do sit full overnight, so short runs are
+    normal.
+    """
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValueError("cannot assess an empty stream")
+    missing = np.isnan(values)
+    missing_fraction = float(missing.mean())
+    present = values[~missing]
+
+    issues: list[str] = []
+    if missing_fraction > max_missing:
+        issues.append(
+            f"{missing_fraction:.1%} missing exceeds {max_missing:.0%}"
+        )
+    if present.size == 0:
+        return QualityReport(
+            n_points=values.size, missing_fraction=1.0, longest_stuck_run=0,
+            outlier_fraction=0.0, std=0.0,
+            issues=["stream is entirely missing"],
+        )
+
+    stuck = longest_constant_run(present)
+    if stuck > max_stuck_run:
+        issues.append(f"stuck-at run of {stuck} exceeds {max_stuck_run}")
+
+    median = float(np.median(present))
+    mad = float(np.median(np.abs(present - median)))
+    if mad > 0:
+        outliers = np.abs(present - median) > 8.0 * 1.4826 * mad
+        outlier_fraction = float(outliers.mean())
+    else:
+        outlier_fraction = float((present != median).mean())
+    if outlier_fraction > max_outliers:
+        issues.append(
+            f"{outlier_fraction:.2%} outliers exceeds {max_outliers:.0%}"
+        )
+
+    std = float(np.std(present))
+    if std < min_std:
+        issues.append(f"std {std:.3g} below {min_std:.0e} (constant stream)")
+
+    return QualityReport(
+        n_points=values.size,
+        missing_fraction=missing_fraction,
+        longest_stuck_run=stuck,
+        outlier_fraction=outlier_fraction,
+        std=std,
+        issues=issues,
+    )

@@ -1,0 +1,124 @@
+"""Window decomposition used by the SMiLer Index (Section 4.3.1).
+
+Following the DualMatch framework the series ``C`` is divided into
+*disjoint windows* ``DW_r = C[r*omega : (r+1)*omega]`` and the master query
+``MQ`` into *sliding windows* ``SW_b`` enumerated right-to-left:
+``SW_b`` holds the ``omega`` query points whose distance from the right end
+of MQ is ``b .. b+omega-1``.
+
+The module is pure geometry — no lower bounds here — so both the index and
+its tests can reason about alignments independently of DTW.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "disjoint_window_count",
+    "disjoint_window",
+    "disjoint_windows",
+    "sliding_window_count",
+    "sliding_window",
+    "sliding_windows_right_to_left",
+    "csg_size",
+    "csg_window_ids",
+    "aligned_segment_start",
+]
+
+
+def disjoint_window_count(series_length: int, omega: int) -> int:
+    """Number of complete disjoint windows in a series."""
+    _check_omega(omega)
+    return series_length // omega
+
+
+def disjoint_window(values: np.ndarray, r: int, omega: int) -> np.ndarray:
+    """The paper's ``DW_r``: the r-th complete omega-length block."""
+    values = np.asarray(values)
+    count = disjoint_window_count(values.size, omega)
+    if not 0 <= r < count:
+        raise IndexError(f"DW_{r} out of range (series has {count} windows)")
+    return values[r * omega : (r + 1) * omega]
+
+
+def disjoint_windows(values: np.ndarray, omega: int) -> np.ndarray:
+    """All complete disjoint windows, shape ``(count, omega)``."""
+    values = np.asarray(values)
+    count = disjoint_window_count(values.size, omega)
+    return values[: count * omega].reshape(count, omega)
+
+
+def sliding_window_count(query_length: int, omega: int) -> int:
+    """Number of sliding windows of the master query."""
+    _check_omega(omega)
+    if query_length < omega:
+        return 0
+    return query_length - omega + 1
+
+
+def sliding_window(query: np.ndarray, b: int, omega: int) -> np.ndarray:
+    """The paper's ``SW_b``: omega points at offset ``b`` from the right end."""
+    query = np.asarray(query)
+    count = sliding_window_count(query.size, omega)
+    if not 0 <= b < count:
+        raise IndexError(f"SW_{b} out of range (query has {count} windows)")
+    end = query.size - b
+    return query[end - omega : end]
+
+
+def sliding_windows_right_to_left(query: np.ndarray, omega: int) -> np.ndarray:
+    """All sliding windows ordered ``SW_0, SW_1, ...`` (right to left)."""
+    query = np.asarray(query)
+    count = sliding_window_count(query.size, omega)
+    rows = [sliding_window(query, b, omega) for b in range(count)]
+    if not rows:
+        return np.empty((0, omega), dtype=query.dtype)
+    return np.stack(rows)
+
+
+def csg_size(item_length: int, b: int, omega: int) -> int:
+    """``|CSG_{i,b}|`` — windows in the Catenated Sliding Window Group.
+
+    ``CSG_{i,b} = {SW_b, SW_{b+omega}, ...}`` is the maximal set of
+    non-overlapping sliding windows of the item query of length
+    ``item_length`` whose rightmost member is ``SW_b`` (Definition 4.2).
+    """
+    _check_omega(omega)
+    if b < 0:
+        raise ValueError(f"b must be non-negative, got {b}")
+    if item_length - b < omega:
+        return 0
+    return (item_length - b) // omega
+
+
+def csg_window_ids(item_length: int, b: int, omega: int) -> list[int]:
+    """Sliding-window identifiers ``[b, b+omega, ...]`` of ``CSG_{i,b}``."""
+    return [b + j * omega for j in range(csg_size(item_length, b, omega))]
+
+
+def aligned_segment_start(
+    item_length: int, b: int, r: int, omega: int
+) -> int:
+    """Lemma 4.1: start index ``t`` of the candidate segment ``C_{t,d_i}``.
+
+    When ``CSG_{i,b}`` is aligned with the contiguous disjoint windows whose
+    *rightmost* member is ``DW_r``, the item query of length ``item_length``
+    is aligned with the segment starting at::
+
+        t = (r - |CSG_{i,b}| + 1) * omega - (d_i - b) % omega
+
+    The caller must check ``t >= 0`` and ``t + d_i <= len(C)``.
+    """
+    size = csg_size(item_length, b, omega)
+    if size == 0:
+        raise ValueError(
+            f"CSG of item length {item_length} with b={b} is empty "
+            f"(omega={omega}); no alignment exists"
+        )
+    return (r - size + 1) * omega - (item_length - b) % omega
+
+
+def _check_omega(omega: int) -> None:
+    if omega <= 0:
+        raise ValueError(f"omega must be positive, got {omega}")

@@ -1,0 +1,126 @@
+"""Tests for the SGD linear models and their forecaster wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LinearSGDRegressor,
+    OnlineRRForecaster,
+    OnlineSVRForecaster,
+    SgdRRForecaster,
+    SgdSVRForecaster,
+)
+
+
+def linear_stream(n=800, seed=0):
+    """A stream whose next value is a fixed linear function of the past."""
+    rng = np.random.default_rng(seed)
+    values = [0.5, -0.2, 0.1]
+    for _ in range(n - 3):
+        values.append(0.6 * values[-1] + 0.3 * values[-2] + 0.02 * rng.normal())
+    return np.asarray(values)
+
+
+class TestLinearSGDRegressor:
+    def test_learns_linear_relation(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(500, 3))
+        w_true = np.array([1.0, -2.0, 0.5])
+        y = x @ w_true + 0.3
+        model = LinearSGDRegressor(3, loss="huber", epsilon=1.0, eta0=0.1)
+        model.fit(x, y, epochs=30)
+        np.testing.assert_allclose(model.weights, w_true, atol=0.1)
+        assert model.bias == pytest.approx(0.3, abs=0.1)
+
+    def test_epsilon_insensitive_ignores_small_errors(self):
+        model = LinearSGDRegressor(2, loss="epsilon_insensitive", epsilon=10.0)
+        w_before = model.weights.copy()
+        model.partial_fit(np.array([1.0, 1.0]), 0.5)  # residual inside tube
+        np.testing.assert_array_equal(model.weights, w_before)
+
+    def test_partial_fit_returns_residual(self):
+        model = LinearSGDRegressor(2)
+        residual = model.partial_fit(np.array([1.0, 2.0]), 3.0)
+        assert residual == pytest.approx(-3.0)
+
+    def test_unknown_loss(self):
+        with pytest.raises(ValueError):
+            LinearSGDRegressor(2, loss="nope")
+
+    def test_shape_validation(self):
+        model = LinearSGDRegressor(2)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            LinearSGDRegressor(0)
+
+
+class TestOfflineForecasters:
+    @pytest.mark.parametrize("cls", [SgdSVRForecaster, SgdRRForecaster])
+    def test_predicts_ar_stream(self, cls):
+        stream = linear_stream()
+        model = cls(segment_length=8, horizons=(1,), epochs=10)
+        model.fit(stream[:600])
+        errors = []
+        for t in range(600, 790):
+            mean, var = model.predict(stream[:t], 1)
+            errors.append(abs(mean - stream[t]))
+            assert var > 0
+        assert float(np.mean(errors)) < 0.1
+
+    def test_multi_horizon_models(self):
+        stream = linear_stream()
+        model = SgdSVRForecaster(segment_length=8, horizons=(1, 5))
+        model.fit(stream[:500])
+        m1, _ = model.predict(stream[:600], 1)
+        m5, _ = model.predict(stream[:600], 5)
+        assert np.isfinite(m1) and np.isfinite(m5)
+        with pytest.raises(KeyError):
+            model.predict(stream[:600], 3)
+
+    def test_is_offline_flags(self):
+        assert SgdSVRForecaster().is_offline
+        assert SgdRRForecaster().is_offline
+        assert not OnlineSVRForecaster().is_offline
+        assert not OnlineRRForecaster().is_offline
+
+    def test_context_too_short(self):
+        model = SgdSVRForecaster(segment_length=16, horizons=(1,))
+        model.fit(linear_stream(200))
+        with pytest.raises(ValueError):
+            model.predict(np.zeros(4), 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SgdSVRForecaster(segment_length=0)
+        with pytest.raises(ValueError):
+            SgdSVRForecaster(horizons=())
+        with pytest.raises(ValueError):
+            SgdSVRForecaster(horizons=(0,))
+
+
+class TestOnlineForecasters:
+    @pytest.mark.parametrize("cls", [OnlineSVRForecaster, OnlineRRForecaster])
+    def test_online_updates_reduce_error(self, cls):
+        """A drifting stream should be tracked thanks to observe()."""
+        rng = np.random.default_rng(2)
+        stream = list(linear_stream(400, seed=3))
+        model = cls(segment_length=8, horizons=(1,), eta0=0.1)
+        model.fit(np.asarray(stream))
+        # Shift the data-generating process: add a level offset.
+        errors_early, errors_late = [], []
+        offset = 0.6  # well outside the epsilon tube
+        for t in range(300):
+            true = 0.6 * stream[-1] + 0.3 * stream[-2] + offset + 0.02 * rng.normal()
+            mean, _ = model.predict(np.asarray(stream), 1)
+            (errors_early if t < 100 else errors_late).append(abs(mean - true))
+            model.observe(true)
+            stream.append(true)
+        assert np.mean(errors_late) < np.mean(errors_early)
+
+    def test_observe_buffer_bounded(self):
+        model = OnlineSVRForecaster(segment_length=4, horizons=(1,))
+        model.fit(linear_stream(100))
+        for v in np.zeros(500):
+            model.observe(v)
+        assert len(model._buffer) <= 4 * (4 + 1) + 1

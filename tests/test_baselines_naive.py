@@ -1,0 +1,118 @@
+"""Tests for the naive reference forecasters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DriftForecaster,
+    MeanForecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+)
+
+
+class TestPersistence:
+    def test_forecast_is_last_value(self):
+        mean, var = PersistenceForecaster().predict(np.array([1.0, 2.0, 7.0]), 3)
+        assert mean == 7.0
+        assert var > 0
+
+    def test_variance_linear_in_horizon(self):
+        context = np.random.default_rng(0).normal(size=100)
+        model = PersistenceForecaster()
+        v1 = model.predict(context, 1)[1]
+        v4 = model.predict(context, 4)[1]
+        assert v4 == pytest.approx(4 * v1)
+
+    def test_optimal_on_random_walk(self):
+        """On a pure random walk nothing should beat persistence."""
+        rng = np.random.default_rng(1)
+        walk = np.cumsum(rng.normal(size=2000))
+        persistence_errors, mean_errors = [], []
+        p, m = PersistenceForecaster(), MeanForecaster()
+        for t in range(1500, 1600):
+            persistence_errors.append(abs(p.predict(walk[:t], 1)[0] - walk[t]))
+            mean_errors.append(abs(m.predict(walk[:t], 1)[0] - walk[t]))
+        assert np.mean(persistence_errors) < np.mean(mean_errors)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PersistenceForecaster().predict(np.array([1.0]), 1)
+        with pytest.raises(ValueError):
+            PersistenceForecaster().predict(np.arange(5.0), 0)
+
+
+class TestMean:
+    def test_forecast_is_mean(self):
+        mean, _ = MeanForecaster().predict(np.array([2.0, 4.0]), 1)
+        assert mean == 3.0
+
+    def test_variance_positive_even_for_constant(self):
+        _, var = MeanForecaster().predict(np.full(10, 3.0), 1)
+        assert var > 0
+
+
+class TestDrift:
+    def test_extrapolates_line(self):
+        context = np.linspace(0.0, 9.0, 10)  # slope exactly 1
+        mean, var = DriftForecaster().predict(context, 5)
+        assert mean == pytest.approx(14.0)
+        assert var > 0
+
+    def test_variance_superlinear(self):
+        context = np.random.default_rng(2).normal(size=50).cumsum()
+        model = DriftForecaster()
+        v1 = model.predict(context, 1)[1]
+        v10 = model.predict(context, 10)[1]
+        assert v10 > 10 * v1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftForecaster().predict(np.array([1.0, 2.0]), 1)
+
+
+class TestSeasonalNaive:
+    def test_repeats_last_season(self):
+        season = np.array([1.0, 2.0, 3.0, 4.0])
+        context = np.tile(season, 5)
+        model = SeasonalNaiveForecaster(period=4)
+        for h in range(1, 9):
+            mean, _ = model.predict(context, h)
+            assert mean == season[(h - 1) % 4]
+
+    def test_perfect_on_periodic_data(self):
+        t = np.arange(600)
+        stream = np.sin(2 * np.pi * t / 24)
+        model = SeasonalNaiveForecaster(period=24)
+        for t0 in range(500, 520):
+            mean, _ = model.predict(stream[:t0], 1)
+            assert mean == pytest.approx(stream[t0], abs=1e-9)
+
+    def test_variance_steps_per_season(self):
+        context = np.random.default_rng(3).normal(size=200)
+        model = SeasonalNaiveForecaster(period=10)
+        v1 = model.predict(context, 1)[1]
+        v11 = model.predict(context, 11)[1]
+        assert v11 == pytest.approx(2 * v1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeasonalNaiveForecaster(period=1)
+        model = SeasonalNaiveForecaster(period=50)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros(60), 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        period=st.integers(2, 12),
+        h=st.integers(1, 30),
+        seed=st.integers(0, 100),
+    )
+    def test_always_finite(self, period, h, seed):
+        rng = np.random.default_rng(seed)
+        context = rng.normal(size=5 * period)
+        mean, var = SeasonalNaiveForecaster(period).predict(context, h)
+        assert np.isfinite(mean)
+        assert var > 0

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+
+class TestRun:
+    def test_run_fig1(self, capsys):
+        assert main(["run", "fig1", "--preset", "tiny"]) == 0
+        assert "TFLOPS" in capsys.readouterr().out
+
+    def test_run_fig8_tiny(self, capsys):
+        assert main(["run", "fig8", "--preset", "tiny"]) == 0
+        assert "SMiLer-Idx" in capsys.readouterr().out
+
+    def test_run_ablation_window_tiny(self, capsys):
+        assert main(["run", "ablation-window", "--preset", "tiny"]) == 0
+        assert "ring update" in capsys.readouterr().out
+
+    def test_out_file(self, tmp_path, capsys):
+        out = tmp_path / "nested" / "fig1.txt"
+        assert main(["run", "fig1", "--out", str(out)]) == 0
+        assert out.exists()
+        assert "TFLOPS" in out.read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nope"])
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--dataset", "MALL", "--steps", "3",
+                     "--predictor", "ar"]) == 0
+        out = capsys.readouterr().out
+        assert "MALL sensor" in out
+        assert out.count("\n") >= 4
+
+    def test_demo_validation(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--steps", "0"])
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            main(["demo", "--dataset", "XX", "--steps", "2"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_experiment_registry_matches_harness(self):
+        import repro.harness as harness
+
+        for driver_name, _ in EXPERIMENTS.values():
+            assert hasattr(harness, driver_name), driver_name
+
+
+class TestRunAll:
+    def test_run_all_tiny_subset(self, tmp_path, capsys, monkeypatch):
+        """run-all with a trimmed registry writes every report file."""
+        import repro.cli as cli
+
+        trimmed = {
+            "fig1": cli.EXPERIMENTS["fig1"],
+            "ablation-window": cli.EXPERIMENTS["ablation-window"],
+        }
+        monkeypatch.setattr(cli, "EXPERIMENTS", trimmed)
+        assert cli.main([
+            "run-all", "--preset", "tiny", "--out-dir", str(tmp_path)
+        ]) == 0
+        assert (tmp_path / "fig1.txt").exists()
+        assert (tmp_path / "ablation_window.txt").exists()

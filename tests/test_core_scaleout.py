@@ -1,0 +1,203 @@
+"""Tests for multi-GPU sharding, history truncation and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MultiGpuFleet,
+    SMiLer,
+    SMiLerConfig,
+    load_smiler,
+    save_smiler,
+    truncate_history,
+)
+from repro.gpu import DeviceSpec, GpuMemoryError
+
+
+def periodic_history(n=700, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.sin(np.arange(n) / 9.0) + 0.05 * rng.normal(size=n)
+
+
+SMALL = SMiLerConfig(
+    elv=(8, 16), ekv=(4, 8), rho=2, omega=4, horizons=(1,),
+    predictor="ar",
+)
+SMALL_GP = SMiLerConfig(
+    elv=(8, 16), ekv=(4,), rho=2, omega=4, horizons=(1,),
+    predictor="gp", initial_train_iters=8, online_train_iters=2,
+)
+
+
+class TestTruncateHistory:
+    def test_keeps_recent_fraction(self):
+        values = np.arange(100.0)
+        kept = truncate_history(values, 0.25)
+        np.testing.assert_array_equal(kept, np.arange(75.0, 100.0))
+
+    def test_full_fraction_is_identity(self):
+        values = np.arange(10.0)
+        np.testing.assert_array_equal(truncate_history(values, 1.0), values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            truncate_history(np.arange(10.0), 0.0)
+        with pytest.raises(ValueError):
+            truncate_history(np.arange(10.0), 1.5)
+
+    def test_truncated_history_costs_less_memory(self):
+        full = SMiLer(periodic_history(), SMALL)
+        short = SMiLer(truncate_history(periodic_history(), 0.5), SMALL)
+        assert short.memory_bytes() < full.memory_bytes()
+
+
+class TestMultiGpuFleet:
+    def test_shards_across_devices(self):
+        histories = [periodic_history(seed=s) for s in range(4)]
+        fleet = MultiGpuFleet(histories, SMALL, n_devices=2)
+        counts = fleet.sensors_per_device()
+        assert sum(counts) == 4
+        assert all(c >= 1 for c in counts)  # greedy balancing spreads them
+
+    def test_predict_observe_roundtrip(self):
+        histories = [periodic_history(seed=s) for s in range(3)]
+        fleet = MultiGpuFleet(histories, SMALL, n_devices=2)
+        outs = fleet.predict_all()
+        assert len(outs) == 3
+        fleet.observe_all([0.1, 0.2, 0.3])
+        assert fleet.total_elapsed_s() > 0
+
+    def test_pool_exhaustion_raises(self):
+        tiny = DeviceSpec(memory_bytes=60_000)
+        histories = [periodic_history(seed=s) for s in range(20)]
+        with pytest.raises(GpuMemoryError):
+            MultiGpuFleet(histories, SMALL, n_devices=2, spec=tiny)
+
+    def test_two_devices_host_more_than_one(self):
+        """The point of the pool: capacity scales with device count."""
+        spec = DeviceSpec(memory_bytes=100_000)
+        histories = [periodic_history(seed=s) for s in range(6)]
+
+        def max_hosted(n_devices):
+            for count in range(len(histories), 0, -1):
+                try:
+                    MultiGpuFleet(
+                        histories[:count], SMALL, n_devices=n_devices, spec=spec
+                    )
+                    return count
+                except GpuMemoryError:
+                    continue
+            return 0
+
+        assert max_hosted(2) > max_hosted(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiGpuFleet([], SMALL)
+        with pytest.raises(ValueError):
+            MultiGpuFleet([periodic_history()], SMALL, n_devices=0)
+        fleet = MultiGpuFleet([periodic_history()], SMALL)
+        with pytest.raises(ValueError):
+            fleet.observe_all([1.0, 2.0])
+
+
+class TestPersistence:
+    def _trained_smiler(self, config, steps=10):
+        history = periodic_history()
+        smiler = SMiLer(history[:650], config)
+        for t in range(650, 650 + steps):
+            smiler.predict()
+            smiler.observe(history[t])
+        return smiler, history
+
+    def test_roundtrip_preserves_series_and_weights(self, tmp_path):
+        smiler, _ = self._trained_smiler(SMALL)
+        path = tmp_path / "sensor.npz"
+        save_smiler(smiler, path)
+        restored = load_smiler(path)
+        np.testing.assert_allclose(restored.series, smiler.series)
+        assert restored.sensor_id == smiler.sensor_id
+        assert restored.config == smiler.config
+        original = smiler.ensemble(1).weights()
+        loaded = restored.ensemble(1).weights()
+        assert set(original) == set(loaded)
+        for cell in original:
+            assert loaded[cell] == pytest.approx(original[cell])
+
+    def test_roundtrip_preserves_gp_hyperparameters(self, tmp_path):
+        smiler, _ = self._trained_smiler(SMALL_GP, steps=5)
+        path = tmp_path / "gp.npz"
+        save_smiler(smiler, path)
+        restored = load_smiler(path)
+        for cell in smiler.ensemble(1).cells:
+            original = smiler.ensemble(1).state(cell).predictor.kernel
+            loaded = restored.ensemble(1).state(cell).predictor.kernel
+            if original is None:
+                assert loaded is None
+                continue
+            assert loaded.theta0 == pytest.approx(original.theta0)
+            assert loaded.theta1 == pytest.approx(original.theta1)
+            assert loaded.theta2 == pytest.approx(original.theta2)
+
+    def test_restored_instance_predicts_close_to_original(self, tmp_path):
+        smiler, history = self._trained_smiler(SMALL)
+        path = tmp_path / "s.npz"
+        save_smiler(smiler, path)
+        restored = load_smiler(path)
+        a = smiler.predict()[1]
+        b = restored.predict()[1]
+        assert b.mean == pytest.approx(a.mean, abs=1e-6)
+        assert b.variance == pytest.approx(a.variance, rel=1e-4)
+
+    def test_sleep_state_survives(self, tmp_path):
+        smiler, _ = self._trained_smiler(SMALL, steps=20)
+        ensemble = smiler.ensemble(1)
+        cell = ensemble.cells[0]
+        ensemble.state(cell).asleep = True
+        ensemble.state(cell).sleep_span = 4
+        ensemble.state(cell).sleep_remaining = 2
+        path = tmp_path / "sleep.npz"
+        save_smiler(smiler, path)
+        restored_state = load_smiler(path).ensemble(1).state(cell)
+        assert restored_state.asleep
+        assert restored_state.sleep_span == 4
+        assert restored_state.sleep_remaining == 2
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        smiler, _ = self._trained_smiler(SMALL, steps=2)
+        path = tmp_path / "v.npz"
+        save_smiler(smiler, path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(arrays["meta_json"].tobytes()).decode("utf-8"))
+        meta["format_version"] = 999
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError):
+            load_smiler(path)
+
+
+class TestServiceWithGpConfig:
+    def test_gp_service_snapshot_roundtrip(self, tmp_path):
+        """GP hyperparameters survive the service-level snapshot too."""
+        from repro.service import PredictionService
+
+        rng = np.random.default_rng(5)
+        history = 100.0 + 10.0 * (
+            np.sin(np.arange(700) / 9.0) + 0.05 * rng.normal(size=700)
+        )
+        service = PredictionService(SMALL_GP, min_history=100)
+        service.register("gp-sensor", history)
+        for value in history[-5:]:
+            service.forecast("gp-sensor")
+            service.ingest("gp-sensor", float(value))
+        before = service.forecast("gp-sensor")
+        service.snapshot(tmp_path)
+        restored = PredictionService(SMALL_GP, min_history=100)
+        restored.restore(tmp_path)
+        after = restored.forecast("gp-sensor")
+        assert after.mean == pytest.approx(before.mean, rel=1e-3)

@@ -1,0 +1,177 @@
+"""End-to-end tests for the SMiLer facade and the sensor fleet."""
+
+import numpy as np
+import pytest
+
+from repro.core import SMiLer, SMiLerConfig, SensorFleet
+from repro.gpu import DeviceSpec, GpuDevice, GpuMemoryError
+
+
+def periodic_history(n=800, period=50, seed=0, noise=0.05):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return np.sin(2 * np.pi * t / period) + noise * rng.normal(size=n)
+
+
+SMALL = SMiLerConfig(
+    elv=(8, 16), ekv=(4, 8), rho=2, omega=4, horizons=(1,),
+    predictor="ar", initial_train_iters=5, online_train_iters=2,
+)
+SMALL_GP = SMiLerConfig(
+    elv=(8, 16), ekv=(4, 8), rho=2, omega=4, horizons=(1,),
+    predictor="gp", initial_train_iters=8, online_train_iters=2,
+)
+
+
+class TestSingleSensor:
+    def test_predict_then_observe_loop(self):
+        history = periodic_history()
+        smiler = SMiLer(history[:700], SMALL)
+        errors = []
+        for t in range(700, 760):
+            out = smiler.predict()[1]
+            errors.append(abs(out.mean - history[t]))
+            assert out.variance > 0
+            smiler.observe(history[t])
+        assert float(np.mean(errors)) < 0.2
+
+    def test_gp_predictor_also_tracks(self):
+        history = periodic_history(seed=1)
+        smiler = SMiLer(history[:700], SMALL_GP)
+        errors = []
+        for t in range(700, 730):
+            out = smiler.predict()[1]
+            errors.append(abs(out.mean - history[t]))
+            smiler.observe(history[t])
+        assert float(np.mean(errors)) < 0.25
+
+    def test_multi_horizon_predictions(self):
+        cfg = SMiLerConfig(
+            elv=(8, 16), ekv=(4,), rho=2, omega=4, horizons=(1, 5),
+            predictor="ar",
+        )
+        history = periodic_history(seed=2)
+        smiler = SMiLer(history[:700], cfg)
+        outs = smiler.predict()
+        assert set(outs) == {1, 5}
+        with pytest.raises(KeyError):
+            smiler.predict(horizon=3)
+
+    def test_now_advances_with_observe(self):
+        history = periodic_history()
+        smiler = SMiLer(history[:700], SMALL)
+        assert smiler.now == 700
+        smiler.predict()
+        smiler.observe(history[700])
+        assert smiler.now == 701
+        np.testing.assert_allclose(smiler.series[-1], history[700])
+
+    def test_repeated_predict_same_step_is_cached(self):
+        history = periodic_history()
+        smiler = SMiLer(history[:700], SMALL)
+        out1 = smiler.predict()[1]
+        search_time = smiler.device.elapsed_s
+        out2 = smiler.predict()[1]
+        assert out1.mean == out2.mean
+        # The second call reuses the cached kNN answers: no new kernels
+        # beyond the (tiny) ensemble work.
+        assert smiler.device.elapsed_s == search_time
+
+    def test_auto_tuning_updates_weights(self):
+        history = periodic_history(seed=3)
+        smiler = SMiLer(history[:700], SMALL)
+        before = dict(smiler.ensemble(1).weights())
+        for t in range(700, 715):
+            smiler.predict()
+            smiler.observe(history[t])
+        after = smiler.ensemble(1).weights()
+        assert smiler.ensemble(1).updates == 15
+        assert before != after
+
+    def test_observe_without_predict_is_safe(self):
+        history = periodic_history()
+        smiler = SMiLer(history[:700], SMALL)
+        smiler.observe(history[700])  # no pending predictions: no crash
+        assert smiler.now == 701
+
+    def test_ablation_modes(self):
+        history = periodic_history(seed=4)
+        ne = SMiLer(
+            history[:700],
+            SMiLerConfig(
+                elv=(8, 16), ekv=(4, 8), rho=2, omega=4, predictor="ar",
+                ensemble=False, single_k=4, single_d=16,
+            ),
+        )
+        out = ne.predict()[1]
+        assert np.isfinite(out.mean)
+        assert len(ne.ensemble(1).cells) == 1
+
+        ns = SMiLer(
+            history[:700],
+            SMiLerConfig(
+                elv=(8, 16), ekv=(4, 8), rho=2, omega=4, predictor="ar",
+                self_adaptive=False,
+            ),
+        )
+        ns.predict()
+        ns.observe(history[700])
+        for w in ns.ensemble(1).weights().values():
+            assert w == pytest.approx(1.0 / 4)
+
+
+class TestFleet:
+    def test_fleet_predict_observe(self):
+        histories = [periodic_history(seed=s)[:600] for s in range(3)]
+        futures = [periodic_history(seed=s)[600:620] for s in range(3)]
+        fleet = SensorFleet(histories, SMALL)
+        assert len(fleet) == 3
+        for step in range(5):
+            outs = fleet.predict_all()
+            assert len(outs) == 3
+            fleet.observe_all([f[step] for f in futures])
+
+    def test_fleet_shares_device_memory(self):
+        histories = [periodic_history(seed=s)[:600] for s in range(2)]
+        fleet = SensorFleet(histories, SMALL)
+        assert fleet.device.allocated_bytes >= fleet.memory_bytes()
+
+    def test_fleet_out_of_memory(self):
+        tiny = GpuDevice(DeviceSpec(memory_bytes=50_000))
+        histories = [periodic_history(seed=s)[:600] for s in range(8)]
+        with pytest.raises(GpuMemoryError):
+            SensorFleet(histories, SMALL, device=tiny)
+
+    def test_fleet_validation(self):
+        with pytest.raises(ValueError):
+            SensorFleet([], SMALL)
+        fleet = SensorFleet([periodic_history()[:600]], SMALL)
+        with pytest.raises(ValueError):
+            fleet.observe_all([1.0, 2.0])
+
+
+class TestDiagnostics:
+    def test_snapshot_fields(self):
+        history = periodic_history()
+        smiler = SMiLer(history[:700], SMALL)
+        for t in range(700, 706):
+            smiler.predict()
+            smiler.observe(history[t])
+        diag = smiler.diagnostics()
+        assert diag["sensor_id"] == "sensor-0"
+        assert diag["now"] == 706
+        assert diag["series_length"] == 706
+        assert diag["memory_bytes"] > 0
+        assert diag["device_sim_seconds"] > 0
+        assert diag["index_reuse"]["rows_reused"] > 0
+        per_h = diag["horizons"][1]
+        assert per_h["updates"] == 6
+        assert abs(sum(per_h["weights"].values()) - 1.0) < 1e-9
+
+    def test_asleep_cells_listed(self):
+        history = periodic_history(seed=9)
+        smiler = SMiLer(history[:700], SMALL)
+        ensemble = smiler.ensemble(1)
+        cell = ensemble.cells[0]
+        ensemble.state(cell).asleep = True
+        assert cell in smiler.diagnostics()["horizons"][1]["asleep"]

@@ -1,0 +1,57 @@
+"""Documentation guards: docs must reference real modules and files."""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [ROOT / "README.md", ROOT / "DESIGN.md", ROOT / "EXPERIMENTS.md"]
+    + list((ROOT / "docs").glob("*.md"))
+)
+
+
+class TestDocsExist:
+    def test_required_documents_present(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE"):
+            assert (ROOT / name).exists(), name
+        assert (ROOT / "docs").is_dir()
+        assert len(list((ROOT / "docs").glob("*.md"))) >= 5
+
+
+class TestModuleReferences:
+    MODULE_PATTERN = re.compile(r"`(repro(?:\.[a-z_]+)+)`")
+
+    @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+    def test_referenced_modules_import(self, doc):
+        import importlib
+
+        text = doc.read_text()
+        for match in set(self.MODULE_PATTERN.findall(text)):
+            parts = match.split(".")
+            # Try as module, else as attribute of the parent module.
+            try:
+                importlib.import_module(match)
+                continue
+            except ImportError:
+                pass
+            parent = importlib.import_module(".".join(parts[:-1]))
+            assert hasattr(parent, parts[-1]), f"{doc.name}: {match}"
+
+
+class TestFileReferences:
+    FILE_PATTERN = re.compile(
+        r"`((?:src|tests|benchmarks|examples|docs)/[A-Za-z0-9_./]+\.(?:py|md))`"
+    )
+
+    @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+    def test_referenced_files_exist(self, doc):
+        text = doc.read_text()
+        for match in set(self.FILE_PATTERN.findall(text)):
+            assert (ROOT / match).exists(), f"{doc.name}: {match}"
+
+    def test_readme_examples_exist(self):
+        text = (ROOT / "README.md").read_text()
+        for match in re.findall(r"examples/([a-z_]+)\.py", text):
+            assert (ROOT / "examples" / f"{match}.py").exists(), match

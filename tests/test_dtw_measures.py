@@ -1,0 +1,153 @@
+"""Tests for the alternative similarity measures (Euclidean/LCSS/ERP/EDR)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dtw import dtw_distance
+from repro.dtw.measures import (
+    edr_distance,
+    erp_distance,
+    euclidean_distance,
+    lcss_distance,
+    lcss_similarity,
+)
+
+floats = st.floats(-5.0, 5.0, allow_nan=False, allow_infinity=False)
+
+
+def seq(length):
+    return arrays(np.float64, (length,), elements=floats)
+
+
+class TestEuclidean:
+    def test_known_value(self):
+        assert euclidean_distance([0.0, 1.0], [1.0, 1.0]) == 1.0
+
+    def test_equals_dtw_with_zero_band(self):
+        rng = np.random.default_rng(0)
+        q, c = rng.normal(size=12), rng.normal(size=12)
+        assert euclidean_distance(q, c) == pytest.approx(
+            dtw_distance(q, c, rho=0)
+        )
+
+    def test_dominates_dtw(self):
+        """DTW can only reduce the cost relative to rigid alignment."""
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            q, c = rng.normal(size=15), rng.normal(size=15)
+            assert dtw_distance(q, c, rho=4) <= euclidean_distance(q, c) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            euclidean_distance([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            euclidean_distance([], [])
+
+
+class TestLcss:
+    def test_identical_sequences_full_match(self):
+        x = np.arange(8.0)
+        assert lcss_similarity(x, x, epsilon=0.0) == 8
+        assert lcss_distance(x, x, epsilon=0.0) == 0.0
+
+    def test_disjoint_sequences_no_match(self):
+        assert lcss_similarity(np.zeros(5), np.full(5, 10.0), epsilon=1.0) == 0
+
+    def test_classic_subsequence(self):
+        q = np.array([1.0, 2.0, 3.0, 4.0])
+        c = np.array([2.0, 3.0, 9.0, 4.0])
+        assert lcss_similarity(q, c, epsilon=0.1) == 3
+
+    def test_band_restricts_matches(self):
+        q = np.array([1.0, 0.0, 0.0, 0.0])
+        c = np.array([0.0, 0.0, 0.0, 1.0])
+        assert lcss_similarity(q, c, epsilon=0.1, rho=None) >= 3
+        assert lcss_similarity(q, c, epsilon=0.1, rho=1) <= 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data(), n=st.integers(1, 15), m=st.integers(1, 15))
+    def test_similarity_bounded(self, data, n, m):
+        q = data.draw(seq(n))
+        c = data.draw(seq(m))
+        sim = lcss_similarity(q, c, epsilon=0.5)
+        assert 0 <= sim <= min(n, m)
+        assert 0.0 <= lcss_distance(q, c, epsilon=0.5) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lcss_similarity([1.0], [1.0], epsilon=-1.0)
+        with pytest.raises(ValueError):
+            lcss_similarity([1.0], [1.0], epsilon=0.1, rho=-1)
+
+
+class TestErp:
+    def test_identical_zero(self):
+        x = np.arange(6.0)
+        assert erp_distance(x, x) == pytest.approx(0.0)
+
+    def test_pure_gap_cost(self):
+        # Aligning against an empty-ish candidate: every point pays |x - g|.
+        q = np.array([1.0, 2.0])
+        c = np.array([1.0, 2.0, 5.0])
+        assert erp_distance(q, c, gap=0.0) == pytest.approx(5.0)
+
+    def test_triangle_inequality(self):
+        """ERP is a metric — spot-check the triangle inequality."""
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            a, b, c = (rng.normal(size=rng.integers(3, 8)) for _ in range(3))
+            ab = erp_distance(a, b)
+            bc = erp_distance(b, c)
+            ac = erp_distance(a, c)
+            assert ac <= ab + bc + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data(), n=st.integers(1, 12), m=st.integers(1, 12))
+    def test_symmetry(self, data, n, m):
+        q = data.draw(seq(n))
+        c = data.draw(seq(m))
+        assert erp_distance(q, c) == pytest.approx(erp_distance(c, q))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erp_distance([1.0], [1.0], rho=-2)
+
+
+class TestEdr:
+    def test_identical_zero(self):
+        x = np.arange(5.0)
+        assert edr_distance(x, x, epsilon=0.0) == 0
+
+    def test_single_substitution(self):
+        q = np.array([1.0, 2.0, 3.0])
+        c = np.array([1.0, 9.0, 3.0])
+        assert edr_distance(q, c, epsilon=0.1) == 1
+
+    def test_insertion_cost(self):
+        q = np.array([1.0, 2.0])
+        c = np.array([1.0, 5.0, 2.0])
+        assert edr_distance(q, c, epsilon=0.1) == 1
+
+    def test_bounded_by_lengths(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            n, m = rng.integers(1, 10, size=2)
+            q, c = rng.normal(size=n), rng.normal(size=m)
+            dist = edr_distance(q, c, epsilon=0.25)
+            assert 0 <= dist <= max(n, m)
+
+    def test_robust_to_one_outlier_vs_euclidean(self):
+        """EDR charges an outlier 1 edit; Euclidean charges its square."""
+        q = np.zeros(10)
+        clean = np.zeros(10)
+        dirty = clean.copy()
+        dirty[4] = 100.0
+        assert edr_distance(q, dirty, epsilon=0.1) == 1
+        assert euclidean_distance(q, dirty) == pytest.approx(10_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            edr_distance([1.0], [1.0], epsilon=-0.5)

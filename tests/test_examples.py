@@ -1,0 +1,46 @@
+"""Smoke tests: every example imports and the fast ones run end-to-end.
+
+Examples are the public face of the library; API drift must break CI,
+not a reader's first five minutes.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert set(ALL_EXAMPLES) >= {
+            "quickstart", "traffic_fleet", "suffix_knn_search",
+            "uncertainty_monitoring", "custom_data", "prediction_service",
+        }
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_and_has_main(self, name):
+        module = load_example(name)
+        assert callable(getattr(module, "main", None)), name
+
+    def test_custom_data_runs(self, capsys):
+        load_example("custom_data").main()
+        out = capsys.readouterr().out
+        assert "MAE on the raw scale" in out
+
+    def test_suffix_knn_search_runs(self, capsys):
+        load_example("suffix_knn_search").main()
+        out = capsys.readouterr().out
+        assert "identical kNN distances" in out

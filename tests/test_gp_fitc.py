@@ -1,0 +1,79 @@
+"""Tests for the FITC sparse GP approximation."""
+
+import numpy as np
+import pytest
+
+from repro.gp import (
+    FitcSparseGP,
+    GaussianProcessRegressor,
+    ProjectedSparseGP,
+    SquaredExponentialKernel,
+)
+
+
+def toy_problem(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(-4, 4, size=n))[:, None]
+    y = np.sin(1.5 * x[:, 0]) + 0.1 * rng.normal(size=n)
+    return x, y
+
+
+class TestFitc:
+    def test_fit_predict_reasonable(self):
+        x, y = toy_problem()
+        model = FitcSparseGP(n_inducing=24, train_iters=30).fit(x, y)
+        mean, var = model.predict(x)
+        assert float(np.mean(np.abs(mean - y))) < 0.25
+        assert (var > 0).all()
+
+    def test_full_rank_matches_exact_gp(self):
+        """With m = n the FITC diagonal correction vanishes.
+
+        A short length-scale keeps the noise-free K_uu well conditioned
+        (FITC inverts it directly; the exact GP never does).
+        """
+        x, y = toy_problem(n=25, seed=1)
+        kernel = SquaredExponentialKernel(1.0, 0.25, 0.2)
+        fitc = FitcSparseGP(n_inducing=25, kernel=kernel, train_iters=0).fit(x, y)
+        exact = GaussianProcessRegressor(kernel).fit(x, y)
+        x_star = np.linspace(-3, 3, 7)[:, None]
+        np.testing.assert_allclose(
+            fitc.predict(x_star)[0], exact.predict(x_star)[0], atol=1e-5
+        )
+        np.testing.assert_allclose(
+            fitc.predict(x_star)[1], exact.predict(x_star)[1], atol=1e-4
+        )
+        assert fitc.log_marginal_likelihood() == pytest.approx(
+            exact.log_marginal_likelihood(), abs=1e-4
+        )
+
+    def test_fitc_variance_not_overconfident_vs_dtc(self):
+        """FITC's diagonal correction raises variance off the inducing set."""
+        x, y = toy_problem(n=150, seed=2)
+        kernel = SquaredExponentialKernel(1.0, 0.8, 0.15)
+        fitc = FitcSparseGP(n_inducing=6, kernel=kernel, train_iters=0, seed=3)
+        dtc = ProjectedSparseGP(n_active=6, kernel=kernel, train_iters=0, seed=3)
+        fitc.fit(x, y)
+        dtc.fit(x, y)
+        x_star = np.linspace(-4, 4, 40)[:, None]
+        # On average the FITC marginal likelihood accounts for the lost
+        # signal; its training fit should be at least as honest.
+        assert np.mean(fitc.predict(x_star)[1]) >= (
+            np.mean(dtc.predict(x_star)[1]) * 0.9
+        )
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            FitcSparseGP().predict(np.zeros((1, 1)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FitcSparseGP(n_inducing=0)
+        with pytest.raises(ValueError):
+            FitcSparseGP().fit(np.zeros((3, 1)), np.zeros(4))
+
+    def test_likelihood_finite_on_duplicates(self):
+        x = np.zeros((30, 2))
+        y = np.random.default_rng(4).normal(size=30)
+        model = FitcSparseGP(n_inducing=5, train_iters=5).fit(x, y)
+        assert np.isfinite(model.log_marginal_likelihood())

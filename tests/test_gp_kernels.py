@@ -1,0 +1,110 @@
+"""Tests for the SE kernel and its log-space gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp import SquaredExponentialKernel, squared_distances
+
+
+class TestSquaredDistances:
+    def test_known_values(self):
+        a = np.array([[0.0, 0.0], [1.0, 1.0]])
+        b = np.array([[1.0, 0.0]])
+        np.testing.assert_allclose(squared_distances(a, b), [[1.0], [1.0]])
+
+    def test_self_distances_zero_diag(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(10, 4))
+        sq = squared_distances(x, x)
+        np.testing.assert_allclose(np.diag(sq), 0.0, atol=1e-10)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(20, 3)) * 100
+        assert (squared_distances(x, x) >= 0).all()
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            squared_distances(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestKernel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SquaredExponentialKernel(theta0=0.0)
+        with pytest.raises(ValueError):
+            SquaredExponentialKernel(theta1=-1.0)
+        with pytest.raises(ValueError):
+            SquaredExponentialKernel(theta2=np.inf)
+
+    def test_log_roundtrip(self):
+        kernel = SquaredExponentialKernel(2.0, 0.5, 0.1)
+        again = SquaredExponentialKernel.from_log_params(kernel.log_params)
+        assert again.theta0 == pytest.approx(2.0)
+        assert again.theta1 == pytest.approx(0.5)
+        assert again.theta2 == pytest.approx(0.1)
+
+    def test_matrix_diagonal_value(self):
+        kernel = SquaredExponentialKernel(2.0, 1.0, 0.3)
+        x = np.random.default_rng(2).normal(size=(5, 3))
+        noisy = kernel.matrix(x, noise=True)
+        np.testing.assert_allclose(np.diag(noisy), 4.0 + 0.09)
+
+    def test_noise_on_cross_matrix_rejected(self):
+        kernel = SquaredExponentialKernel()
+        with pytest.raises(ValueError):
+            kernel.matrix(np.zeros((2, 2)), np.zeros((3, 2)), noise=True)
+
+    def test_matrix_positive_definite(self):
+        kernel = SquaredExponentialKernel(1.0, 1.0, 0.1)
+        x = np.random.default_rng(3).normal(size=(15, 4))
+        eigvals = np.linalg.eigvalsh(kernel.matrix(x, noise=True))
+        assert (eigvals > 0).all()
+
+    def test_lengthscale_controls_decay(self):
+        x = np.array([[0.0], [1.0]])
+        wide = SquaredExponentialKernel(1.0, 10.0, 0.1).matrix(x)
+        narrow = SquaredExponentialKernel(1.0, 0.1, 0.1).matrix(x)
+        assert wide[0, 1] > 0.99
+        assert narrow[0, 1] < 1e-10
+
+    def test_diag(self):
+        kernel = SquaredExponentialKernel(2.0, 1.0, 0.5)
+        np.testing.assert_allclose(kernel.diag(np.zeros((4, 2))), 4.0)
+        np.testing.assert_allclose(kernel.diag(np.zeros((4, 2)), noise=True), 4.25)
+
+    def test_replace(self):
+        kernel = SquaredExponentialKernel(1.0, 2.0, 0.3)
+        new = kernel.replace(theta1=5.0)
+        assert new.theta1 == 5.0
+        assert new.theta0 == 1.0 and new.theta2 == 0.3
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        log_params=st.lists(
+            st.floats(-1.5, 1.5, allow_nan=False), min_size=3, max_size=3
+        ),
+        seed=st.integers(0, 100),
+    )
+    def test_gradients_match_finite_differences(self, log_params, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(6, 2))
+        log_params = np.asarray(log_params)
+        kernel = SquaredExponentialKernel.from_log_params(log_params)
+        grads = kernel.gradients(x)
+        eps = 1e-6
+        for j in range(3):
+            lp_plus = log_params.copy()
+            lp_plus[j] += eps
+            lp_minus = log_params.copy()
+            lp_minus[j] -= eps
+            k_plus = SquaredExponentialKernel.from_log_params(lp_plus).matrix(
+                x, noise=True
+            )
+            k_minus = SquaredExponentialKernel.from_log_params(lp_minus).matrix(
+                x, noise=True
+            )
+            fd = (k_plus - k_minus) / (2 * eps)
+            np.testing.assert_allclose(grads[j], fd, rtol=1e-4, atol=1e-7)

@@ -1,0 +1,129 @@
+"""Tests for the Matérn-5/2 and periodic kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp import (
+    GaussianProcessRegressor,
+    Matern52Kernel,
+    PeriodicKernel,
+    fit_exact_gp,
+    marginal_likelihood_objective,
+)
+
+
+def fd_check(kernel_cls, log_params, x, n_params):
+    kernel = kernel_cls.from_log_params(np.asarray(log_params))
+    grads = kernel.gradients(x)
+    assert len(grads) == n_params
+    eps = 1e-6
+    for j in range(n_params):
+        lp = np.asarray(log_params, dtype=float)
+        lp[j] += eps
+        up = kernel_cls.from_log_params(lp).matrix(x, noise=True)
+        lp[j] -= 2 * eps
+        down = kernel_cls.from_log_params(lp).matrix(x, noise=True)
+        fd = (up - down) / (2 * eps)
+        np.testing.assert_allclose(grads[j], fd, rtol=1e-4, atol=1e-7)
+
+
+class TestMatern52:
+    def test_diag_and_psd(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(12, 3))
+        kernel = Matern52Kernel(1.5, 0.8, 0.2)
+        cov = kernel.matrix(x, noise=True)
+        assert (np.linalg.eigvalsh(cov) > 0).all()
+        np.testing.assert_allclose(np.diag(cov), 1.5**2 + 0.2**2)
+
+    def test_rougher_than_se_at_matched_scale(self):
+        """Matérn decays polynomially-damped-exponential: heavier tail
+        than the SE's Gaussian decay at large r."""
+        from repro.gp import SquaredExponentialKernel
+
+        x = np.array([[0.0], [3.0]])
+        matern = Matern52Kernel(1.0, 1.0, 0.1).matrix(x)[0, 1]
+        se = SquaredExponentialKernel(1.0, 1.0, 0.1).matrix(x)[0, 1]
+        assert matern > se
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        log_params=st.lists(st.floats(-0.8, 0.8), min_size=3, max_size=3),
+        seed=st.integers(0, 30),
+    )
+    def test_gradients(self, log_params, seed):
+        x = np.random.default_rng(seed).normal(size=(6, 2))
+        fd_check(Matern52Kernel, log_params, x, 3)
+
+    def test_log_roundtrip_and_replace(self):
+        kernel = Matern52Kernel(2.0, 0.5, 0.1)
+        again = Matern52Kernel.from_log_params(kernel.log_params)
+        assert again.theta1 == pytest.approx(0.5)
+        assert kernel.replace(theta1=3.0).theta1 == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Matern52Kernel(theta0=0.0)
+        with pytest.raises(ValueError):
+            Matern52Kernel().matrix(np.zeros((2, 1)), np.zeros((3, 1)), noise=True)
+
+    def test_fits_with_generic_trainer(self):
+        rng = np.random.default_rng(1)
+        x = np.sort(rng.uniform(-3, 3, 60))[:, None]
+        y = np.sin(2 * x[:, 0]) + 0.1 * rng.normal(size=60)
+        gp = fit_exact_gp(x, y, kernel=Matern52Kernel(), max_iters=40)
+        assert isinstance(gp.kernel, Matern52Kernel)
+        mean, _ = gp.predict(x)
+        assert float(np.mean(np.abs(mean - y))) < 0.15
+
+
+class TestPeriodic:
+    def test_exact_periodicity(self):
+        kernel = PeriodicKernel(1.0, period=2.0, lengthscale=0.7, noise=0.1)
+        x = np.array([[0.0], [2.0], [4.0], [1.0]])
+        cov = kernel.matrix(x)
+        # Points one full period apart are perfectly correlated.
+        assert cov[0, 1] == pytest.approx(1.0)
+        assert cov[0, 2] == pytest.approx(1.0)
+        # Half a period apart: minimal correlation.
+        assert cov[0, 3] < cov[0, 1]
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        log_params=st.lists(st.floats(-0.5, 0.5), min_size=4, max_size=4),
+        seed=st.integers(0, 30),
+    )
+    def test_gradients(self, log_params, seed):
+        x = np.random.default_rng(seed).normal(size=(5, 1))
+        fd_check(PeriodicKernel, log_params, x, 4)
+
+    def test_gp_extrapolates_periodic_signal(self):
+        """The killer feature: periodic kernels extrapolate seasons."""
+        rng = np.random.default_rng(2)
+        x = np.arange(0.0, 12.0, 0.25)[:, None]
+        y = np.sin(2 * np.pi * x[:, 0] / 3.0) + 0.05 * rng.normal(size=x.shape[0])
+        kernel = PeriodicKernel(1.0, period=3.0, lengthscale=1.0, noise=0.05)
+        gp = GaussianProcessRegressor(kernel).fit(x, y)
+        x_far = np.array([[30.0], [30.75]])
+        mean, _ = gp.predict(x_far, include_noise=False)
+        truth = np.sin(2 * np.pi * x_far[:, 0] / 3.0)
+        np.testing.assert_allclose(mean, truth, atol=0.1)
+
+    def test_objective_generic_dispatch(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(15, 1))
+        y = rng.normal(size=15)
+        kernel = PeriodicKernel()
+        value, grads = marginal_likelihood_objective(
+            kernel.log_params, x, y, kernel_cls=PeriodicKernel
+        )
+        assert np.isfinite(value)
+        assert grads.shape == (4,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicKernel(period=-1.0)
+        with pytest.raises(ValueError):
+            PeriodicKernel.from_log_params(np.zeros(3))

@@ -1,0 +1,113 @@
+"""Tests for the CG and Nelder-Mead optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.gp import conjugate_gradient_minimize, nelder_mead_minimize
+
+
+def quadratic(center, scales):
+    center = np.asarray(center, dtype=np.float64)
+    scales = np.asarray(scales, dtype=np.float64)
+
+    def fun(x):
+        diff = x - center
+        value = float(np.sum(scales * diff**2))
+        grad = 2.0 * scales * diff
+        return value, grad
+
+    return fun
+
+
+def rosenbrock(x):
+    a, b = 1.0, 100.0
+    value = (a - x[0]) ** 2 + b * (x[1] - x[0] ** 2) ** 2
+    grad = np.array(
+        [
+            -2 * (a - x[0]) - 4 * b * x[0] * (x[1] - x[0] ** 2),
+            2 * b * (x[1] - x[0] ** 2),
+        ]
+    )
+    return float(value), grad
+
+
+class TestConjugateGradient:
+    def test_quadratic_exact(self):
+        fun = quadratic([3.0, -2.0, 1.0], [1.0, 5.0, 0.5])
+        result = conjugate_gradient_minimize(fun, np.zeros(3), max_iters=200)
+        np.testing.assert_allclose(result.x, [3.0, -2.0, 1.0], atol=1e-4)
+        assert result.converged
+
+    def test_rosenbrock_progress(self):
+        result = conjugate_gradient_minimize(
+            rosenbrock, np.array([-1.2, 1.0]), max_iters=2000, grad_tol=1e-8
+        )
+        assert result.value < 1e-5
+
+    def test_fixed_step_budget_respected(self):
+        """The paper's online training runs exactly 5 CG steps."""
+        fun = quadratic(np.full(4, 10.0), np.ones(4))
+        result = conjugate_gradient_minimize(fun, np.zeros(4), max_iters=5)
+        assert result.iterations <= 5
+
+    def test_monotone_decrease(self):
+        values = []
+
+        def tracked(x):
+            v, g = rosenbrock(x)
+            values.append(v)
+            return v, g
+
+        conjugate_gradient_minimize(tracked, np.array([0.5, 0.5]), max_iters=50)
+        accepted = [values[0]]
+        for v in values[1:]:
+            if v <= accepted[-1]:
+                accepted.append(v)
+        assert accepted[-1] < accepted[0]
+
+    def test_already_at_optimum(self):
+        fun = quadratic([0.0, 0.0], [1.0, 1.0])
+        result = conjugate_gradient_minimize(fun, np.zeros(2))
+        assert result.converged
+        assert result.value == pytest.approx(0.0, abs=1e-12)
+
+    def test_non_finite_start_rejected(self):
+        def bad(x):
+            return np.inf, np.zeros_like(x)
+
+        with pytest.raises(ValueError):
+            conjugate_gradient_minimize(bad, np.zeros(2))
+
+
+class TestNelderMead:
+    def test_quadratic(self):
+        result = nelder_mead_minimize(
+            lambda x: float(np.sum((x - 2.0) ** 2)), np.zeros(3), max_iters=500
+        )
+        np.testing.assert_allclose(result.x, 2.0, atol=1e-3)
+
+    def test_rosenbrock_2d(self):
+        result = nelder_mead_minimize(
+            lambda x: rosenbrock(x)[0], np.array([-1.0, 1.5]), max_iters=2000
+        )
+        np.testing.assert_allclose(result.x, [1.0, 1.0], atol=1e-2)
+
+    def test_handles_inf_regions(self):
+        def guarded(x):
+            if x[0] < 0:
+                return np.inf
+            return float((x[0] - 1.0) ** 2 + x[1] ** 2)
+
+        result = nelder_mead_minimize(guarded, np.array([2.0, 2.0]), max_iters=500)
+        assert result.value < 1e-4
+
+    def test_iteration_budget(self):
+        calls = {"n": 0}
+
+        def counting(x):
+            calls["n"] += 1
+            return float(np.sum(x**2))
+
+        nelder_mead_minimize(counting, np.ones(2), max_iters=10)
+        # Each NM iteration evaluates a handful of vertices at most.
+        assert calls["n"] < 10 * 6 + 10

@@ -1,0 +1,80 @@
+"""Tests for exact-GP marginal-likelihood training."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp import (
+    GaussianProcessRegressor,
+    SquaredExponentialKernel,
+    fit_exact_gp,
+    marginal_likelihood_objective,
+)
+
+
+def toy_problem(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(-3, 3, size=n))[:, None]
+    y = np.sin(2.0 * x[:, 0]) + 0.1 * rng.normal(size=n)
+    return x, y
+
+
+class TestObjective:
+    def test_value_matches_regressor(self):
+        x, y = toy_problem(n=15, seed=1)
+        kernel = SquaredExponentialKernel(1.2, 0.7, 0.2)
+        value, _ = marginal_likelihood_objective(kernel.log_params, x, y)
+        gp = GaussianProcessRegressor(kernel).fit(x, y)
+        assert value == pytest.approx(-gp.log_marginal_likelihood(), rel=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        log_params=st.lists(
+            st.floats(-1.0, 1.0, allow_nan=False), min_size=3, max_size=3
+        ),
+        seed=st.integers(0, 50),
+    )
+    def test_gradient_matches_finite_differences(self, log_params, seed):
+        x, y = toy_problem(n=10, seed=seed)
+        log_params = np.asarray(log_params)
+        _, grad = marginal_likelihood_objective(log_params, x, y)
+        eps = 1e-5
+        for j in range(3):
+            lp = log_params.copy()
+            lp[j] += eps
+            up, _ = marginal_likelihood_objective(lp, x, y)
+            lp[j] -= 2 * eps
+            down, _ = marginal_likelihood_objective(lp, x, y)
+            assert grad[j] == pytest.approx(
+                (up - down) / (2 * eps), rel=2e-3, abs=1e-5
+            )
+
+
+class TestFitExactGp:
+    def test_training_improves_likelihood(self):
+        x, y = toy_problem(seed=2)
+        bad = SquaredExponentialKernel(0.3, 5.0, 1.0)
+        untrained = GaussianProcessRegressor(bad).fit(x, y)
+        trained = fit_exact_gp(x, y, kernel=bad, max_iters=60)
+        assert (
+            trained.log_marginal_likelihood()
+            > untrained.log_marginal_likelihood() + 1.0
+        )
+
+    def test_recovers_noise_scale(self):
+        rng = np.random.default_rng(3)
+        x = np.sort(rng.uniform(-3, 3, size=120))[:, None]
+        y = np.sin(x[:, 0]) + 0.25 * rng.normal(size=120)
+        trained = fit_exact_gp(x, y, max_iters=80)
+        assert trained.kernel.theta2 == pytest.approx(0.25, rel=0.5)
+
+    def test_trained_gp_predicts_well(self):
+        x, y = toy_problem(n=80, seed=4)
+        trained = fit_exact_gp(x, y, max_iters=60)
+        mean, _ = trained.predict(x)
+        assert float(np.mean(np.abs(mean - y))) < 0.12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_exact_gp(np.zeros((3, 1)), np.zeros(4))

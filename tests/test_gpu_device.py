@@ -1,0 +1,131 @@
+"""Tests for the simulated GPU device and cost model."""
+
+import pytest
+
+from repro.gpu import (
+    CPU_SPEC,
+    CpuCostModel,
+    DeviceSpec,
+    GpuDevice,
+    GpuMemoryError,
+)
+
+
+class TestCostModel:
+    def test_launch_accumulates_time(self):
+        dev = GpuDevice()
+        t1 = dev.launch("a", n_blocks=14, ops_per_thread=1000.0)
+        t2 = dev.launch("a", n_blocks=14, ops_per_thread=1000.0)
+        assert t1 > 0 and t2 > 0
+        assert dev.elapsed_s == pytest.approx(t1 + t2)
+
+    def test_wave_scheduling(self):
+        """2x the blocks of one full wave should take ~2x the wave time."""
+        spec = DeviceSpec(launch_overhead_s=0.0)
+        one = GpuDevice(spec)
+        two = GpuDevice(spec)
+        one.launch("k", n_blocks=spec.n_sms, ops_per_thread=1e6)
+        two.launch("k", n_blocks=2 * spec.n_sms, ops_per_thread=1e6)
+        assert two.elapsed_s == pytest.approx(2 * one.elapsed_s)
+
+    def test_parallelism_beats_serial(self):
+        """The same op count runs far faster on the GPU than the CPU model."""
+        ops = 1e9
+        gpu = GpuDevice(DeviceSpec(launch_overhead_s=0.0))
+        # Spread the ops across a full wave of blocks and threads.
+        spec = gpu.spec
+        per_thread = ops / (spec.n_sms * 256)
+        gpu.launch("k", n_blocks=spec.n_sms, ops_per_thread=per_thread)
+        cpu = CpuCostModel()
+        cpu.execute(ops)
+        assert gpu.elapsed_s < cpu.elapsed_s / 50
+
+    def test_zero_blocks_is_free(self):
+        dev = GpuDevice()
+        assert dev.launch("noop", 0, 100.0) == 0.0
+        assert dev.cost.launches == 0
+
+    def test_invalid_threads(self):
+        dev = GpuDevice()
+        with pytest.raises(ValueError):
+            dev.launch("bad", 1, 1.0, threads_per_block=0)
+
+    def test_per_kernel_breakdown(self):
+        dev = GpuDevice()
+        dev.launch("a", 1, 10.0)
+        dev.launch("b", 1, 10.0)
+        assert set(dev.cost.per_kernel_s) == {"a", "b"}
+
+    def test_reset(self):
+        dev = GpuDevice()
+        dev.launch("a", 1, 10.0)
+        dev.reset_time()
+        assert dev.elapsed_s == 0.0
+
+    def test_cpu_spec_is_serial(self):
+        assert CPU_SPEC.total_cores == 1
+
+
+class TestDeviceMemory:
+    def test_malloc_free_roundtrip(self):
+        dev = GpuDevice()
+        handle = dev.malloc(1024, "index")
+        assert dev.allocated_bytes == 1024
+        dev.free(handle)
+        assert dev.allocated_bytes == 0
+
+    def test_out_of_memory(self):
+        dev = GpuDevice(DeviceSpec(memory_bytes=1000))
+        dev.malloc(900)
+        with pytest.raises(GpuMemoryError):
+            dev.malloc(200)
+
+    def test_double_free_rejected(self):
+        dev = GpuDevice()
+        handle = dev.malloc(10)
+        dev.free(handle)
+        with pytest.raises(KeyError):
+            dev.free(handle)
+
+    def test_negative_allocation(self):
+        dev = GpuDevice()
+        with pytest.raises(ValueError):
+            dev.malloc(-1)
+
+    def test_live_allocations_ordered(self):
+        dev = GpuDevice()
+        a = dev.malloc(1, "a")
+        b = dev.malloc(2, "b")
+        assert [h.label for h in dev.live_allocations()] == ["a", "b"]
+        dev.free(a)
+        assert [h.label for h in dev.live_allocations()] == ["b"]
+        assert b.nbytes == 2
+
+    def test_default_capacity_is_6gb(self):
+        assert GpuDevice().spec.memory_bytes == 6 * 1024**3
+
+
+class TestWorkConservingMode:
+    def test_fractional_waves(self):
+        """Work-conserving: 7 blocks on 14 SMs cost half a wave."""
+        spec = DeviceSpec(launch_overhead_s=0.0, work_conserving=True)
+        half = GpuDevice(spec)
+        full = GpuDevice(spec)
+        half.launch("k", n_blocks=7, ops_per_thread=1e6)
+        full.launch("k", n_blocks=14, ops_per_thread=1e6)
+        assert half.elapsed_s == pytest.approx(full.elapsed_s / 2)
+
+    def test_quantised_default_rounds_up(self):
+        spec = DeviceSpec(launch_overhead_s=0.0, work_conserving=False)
+        dev = GpuDevice(spec)
+        one_block = dev.launch("k", n_blocks=1, ops_per_thread=1e6)
+        fifteen = dev.launch("k", n_blocks=15, ops_per_thread=1e6)
+        # 15 blocks on 14 SMs need two full waves.
+        assert fifteen == pytest.approx(2 * one_block)
+
+    def test_modes_agree_on_full_waves(self):
+        conserving = GpuDevice(DeviceSpec(launch_overhead_s=0.0, work_conserving=True))
+        quantised = GpuDevice(DeviceSpec(launch_overhead_s=0.0, work_conserving=False))
+        conserving.launch("k", n_blocks=28, ops_per_thread=1e5)
+        quantised.launch("k", n_blocks=28, ops_per_thread=1e5)
+        assert conserving.elapsed_s == pytest.approx(quantised.elapsed_s)

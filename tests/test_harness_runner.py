@@ -1,0 +1,156 @@
+"""Tests for the continuous-prediction runner and reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import BaseForecaster
+from repro.core import SMiLerConfig
+from repro.harness import (
+    SMiLerForecaster,
+    format_seconds,
+    render_series,
+    render_table,
+    run_continuous,
+)
+
+
+class ConstantForecaster(BaseForecaster):
+    """Predicts a constant; used to verify scoring arithmetic."""
+
+    name = "Constant"
+
+    def __init__(self, mean=0.0, var=1.0):
+        self._mean, self._var = mean, var
+        self.observed = []
+
+    def predict(self, context, horizon):
+        return self._mean, self._var
+
+    def observe(self, value):
+        self.observed.append(value)
+
+
+class TestRunContinuous:
+    def test_scores_constant_forecaster(self):
+        history = np.zeros(50)
+        tail = np.ones(20)
+        result = run_continuous(
+            ConstantForecaster(0.0), history, tail, horizons=(1,)
+        )
+        scores = result.horizons[1]
+        assert scores.mae == pytest.approx(1.0)
+        assert scores.rmse == pytest.approx(1.0)
+        assert scores.n_scored == 20
+
+    def test_horizon_alignment(self):
+        """An h-step prediction is scored against tail[i + h - 1]."""
+
+        class Oracle(BaseForecaster):
+            name = "Oracle"
+
+            def __init__(self, tail):
+                self.tail = tail
+                self.i = 0
+
+            def predict(self, context, horizon):
+                return float(self.tail[self.i + horizon - 1]), 1.0
+
+            def observe(self, value):
+                self.i += 1
+
+        tail = np.arange(30.0)
+        result = run_continuous(
+            Oracle(tail), np.zeros(10), tail, horizons=(1, 3, 7)
+        )
+        for h in (1, 3, 7):
+            assert result.horizons[h].mae == 0.0
+            assert result.horizons[h].n_scored == 30 - h + 1
+
+    def test_observe_called_once_per_step(self):
+        forecaster = ConstantForecaster()
+        tail = np.arange(15.0)
+        run_continuous(forecaster, np.zeros(10), tail, horizons=(1, 2))
+        np.testing.assert_array_equal(forecaster.observed, tail)
+
+    def test_n_steps_limits_walk(self):
+        forecaster = ConstantForecaster()
+        result = run_continuous(
+            forecaster, np.zeros(10), np.arange(50.0), horizons=(1,), n_steps=12
+        )
+        assert result.horizons[1].n_scored == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_continuous(
+                ConstantForecaster(), np.zeros(10), np.arange(5.0), horizons=(9,)
+            )
+        with pytest.raises(ValueError):
+            run_continuous(
+                ConstantForecaster(), np.zeros(10), np.arange(5.0), horizons=(0,)
+            )
+
+    def test_keep_predictions(self):
+        result = run_continuous(
+            ConstantForecaster(), np.zeros(10), np.ones(10), horizons=(1,),
+            keep_predictions=True,
+        )
+        assert len(result.predictions[1]) == 10
+
+    def test_smiler_adapter_end_to_end(self):
+        rng = np.random.default_rng(0)
+        stream = np.sin(np.arange(400) / 8.0) + 0.05 * rng.normal(size=400)
+        config = SMiLerConfig(
+            elv=(8, 16), ekv=(4,), rho=2, omega=4, horizons=(1,),
+            predictor="ar",
+        )
+        result = run_continuous(
+            SMiLerForecaster(config), stream[:360], stream[360:], horizons=(1,)
+        )
+        assert result.method == "SMiLer-AR"
+        assert result.horizons[1].mae < 0.3
+        assert result.predict_seconds_per_query > 0
+
+    def test_adapter_requires_fit(self):
+        adapter = SMiLerForecaster(SMiLerConfig())
+        with pytest.raises(RuntimeError):
+            adapter.predict(np.zeros(100), 1)
+
+    def test_adapter_names(self):
+        assert SMiLerForecaster(SMiLerConfig(predictor="gp")).name == "SMiLer-GP"
+        assert SMiLerForecaster(SMiLerConfig(predictor="ar")).name == "SMiLer-AR"
+        assert "NE" in SMiLerForecaster(SMiLerConfig(ensemble=False)).name
+        assert "NS" in SMiLerForecaster(SMiLerConfig(self_adaptive=False)).name
+
+
+class TestReporting:
+    def test_format_seconds_ranges(self):
+        assert format_seconds(0) == "0s"
+        assert format_seconds(5e-7).endswith("ns")
+        assert format_seconds(5e-5).endswith("us")
+        assert format_seconds(5e-2).endswith("ms")
+        assert format_seconds(5).endswith("s")
+        assert format_seconds(600).endswith("min")
+        assert format_seconds(10_000).endswith("h")
+        with pytest.raises(ValueError):
+            format_seconds(-1)
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "2.5000" in out
+
+    def test_render_table_validation(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_series(self):
+        out = render_series("h", [1, 5], {"m1": [0.1, 0.2], "m2": [0.3, 0.4]})
+        assert "m1" in out and "0.4000" in out
+
+    def test_render_series_validation(self):
+        with pytest.raises(ValueError):
+            render_series("h", [1, 2], {"m": [0.1]})

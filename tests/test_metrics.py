@@ -1,0 +1,59 @@
+"""Tests for MAE / RMSE / MNLPD."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import mae, mnlpd, nlpd_terms, rmse
+
+
+class TestPointErrors:
+    def test_mae_known(self):
+        assert mae([1.0, 2.0], [2.0, 0.0]) == pytest.approx(1.5)
+
+    def test_rmse_known(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        truth = rng.normal(size=50)
+        pred = rng.normal(size=50)
+        assert rmse(truth, pred) >= mae(truth, pred)
+
+    def test_perfect_prediction(self):
+        x = np.arange(5.0)
+        assert mae(x, x) == 0.0
+        assert rmse(x, x) == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            mae([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mae([], [])
+
+
+class TestMnlpd:
+    def test_standard_normal_density(self):
+        # -log N(0; 0, 1) = 0.5 log(2 pi)
+        assert mnlpd([0.0], [0.0], [1.0]) == pytest.approx(
+            0.5 * np.log(2 * np.pi)
+        )
+
+    def test_wrong_confident_prediction_punished(self):
+        calibrated = mnlpd([1.0], [0.0], [1.0])
+        overconfident = mnlpd([1.0], [0.0], [0.01])
+        assert overconfident > calibrated
+
+    def test_underconfident_also_worse_than_calibrated(self):
+        calibrated = mnlpd([0.0], [0.0], [1e-4])
+        vague = mnlpd([0.0], [0.0], [100.0])
+        assert vague > calibrated
+
+    def test_terms_shape(self):
+        terms = nlpd_terms([0.0, 1.0], [0.0, 1.0], [1.0, 1.0])
+        assert terms.shape == (2,)
+
+    def test_variance_validation(self):
+        with pytest.raises(ValueError):
+            mnlpd([0.0], [0.0], [0.0])
+        with pytest.raises(ValueError):
+            mnlpd([0.0], [0.0], [1.0, 2.0])

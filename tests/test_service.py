@@ -1,0 +1,165 @@
+"""Tests for the deployment-shaped PredictionService."""
+
+import numpy as np
+import pytest
+
+from repro.core import SMiLerConfig
+from repro.service import Forecast, PredictionService
+
+CONFIG = SMiLerConfig(
+    elv=(8, 16), ekv=(4, 8), rho=2, omega=4, horizons=(1, 3),
+    predictor="ar",
+)
+
+
+def raw_history(n=600, seed=0, scale=50.0, offset=200.0):
+    rng = np.random.default_rng(seed)
+    return offset + scale * (
+        np.sin(np.arange(n) / 9.0) + 0.05 * rng.normal(size=n)
+    )
+
+
+def make_service(**kwargs):
+    return PredictionService(CONFIG, min_history=100, **kwargs)
+
+
+class TestRegistration:
+    def test_register_and_list(self):
+        service = make_service()
+        service.register("s1", raw_history())
+        service.register("s2", raw_history(seed=1))
+        assert service.sensor_ids == ["s1", "s2"]
+
+    def test_duplicate_rejected(self):
+        service = make_service()
+        service.register("s1", raw_history())
+        with pytest.raises(ValueError):
+            service.register("s1", raw_history())
+
+    def test_short_history_rejected(self):
+        with pytest.raises(ValueError):
+            make_service().register("s1", raw_history(n=50))
+
+    def test_non_finite_history_rejected(self):
+        history = raw_history()
+        history[10] = np.nan
+        with pytest.raises(ValueError):
+            make_service().register("s1", history)
+
+    def test_deregister(self):
+        service = make_service()
+        service.register("s1", raw_history())
+        service.deregister("s1")
+        assert service.sensor_ids == []
+        with pytest.raises(KeyError):
+            service.deregister("s1")
+
+    def test_min_history_validation(self):
+        with pytest.raises(ValueError):
+            PredictionService(CONFIG, min_history=0)
+
+
+class TestServing:
+    def test_forecast_on_raw_scale(self):
+        service = make_service()
+        history = raw_history()
+        service.register("s1", history)
+        forecast = service.forecast("s1")
+        # Raw scale: near the sensor's operating range, not z-scores.
+        assert 100.0 < forecast.mean < 300.0
+        assert forecast.std > 0
+        assert forecast.interval_low < forecast.mean < forecast.interval_high
+
+    def test_ingest_then_forecast_tracks(self):
+        service = make_service()
+        full = raw_history(n=660, seed=2)
+        service.register("s1", full[:600])
+        errors = []
+        for value in full[600:640]:
+            forecast = service.forecast("s1")
+            errors.append(abs(forecast.mean - value))
+            service.ingest("s1", value)
+        assert float(np.mean(errors)) < 15.0  # scale=50 sine
+
+    def test_multi_horizon(self):
+        service = make_service()
+        service.register("s1", raw_history())
+        f3 = service.forecast("s1", horizon=3)
+        assert f3.horizon == 3
+        with pytest.raises(KeyError):
+            service.forecast("s1", horizon=9)
+
+    def test_forecast_all(self):
+        service = make_service()
+        service.register("a", raw_history())
+        service.register("b", raw_history(seed=3))
+        forecasts = service.forecast_all()
+        assert set(forecasts) == {"a", "b"}
+
+    def test_interval_level(self):
+        service = make_service()
+        service.register("s1", raw_history())
+        wide = service.forecast("s1", level=0.99)
+        narrow = service.forecast("s1", level=0.5)
+        assert (wide.interval_high - wide.interval_low) > (
+            narrow.interval_high - narrow.interval_low
+        )
+        with pytest.raises(ValueError):
+            service.forecast("s1", level=1.0)
+
+    def test_non_finite_ingest_rejected(self):
+        service = make_service()
+        service.register("s1", raw_history())
+        with pytest.raises(ValueError):
+            service.ingest("s1", np.nan)
+
+    def test_unknown_sensor(self):
+        with pytest.raises(KeyError):
+            make_service().forecast("ghost")
+
+    def test_forecast_as_dict(self):
+        forecast = Forecast("s", 1, 1.0, 0.5, 0.0, 2.0, 0.95)
+        record = forecast.as_dict()
+        assert record["sensor_id"] == "s"
+        assert record["interval"] == [0.0, 2.0]
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self, tmp_path):
+        service = make_service()
+        full = raw_history(n=620, seed=4)
+        service.register("s1", full[:600])
+        for value in full[600:610]:
+            service.forecast("s1")
+            service.ingest("s1", value)
+        before = service.forecast("s1")
+        service.snapshot(tmp_path)
+
+        restored = make_service()
+        restored.restore(tmp_path)
+        assert restored.sensor_ids == ["s1"]
+        after = restored.forecast("s1")
+        assert after.mean == pytest.approx(before.mean, rel=1e-4)
+        assert after.std == pytest.approx(before.std, rel=1e-3)
+
+    def test_restore_requires_empty_service(self, tmp_path):
+        service = make_service()
+        service.register("s1", raw_history())
+        service.snapshot(tmp_path)
+        with pytest.raises(RuntimeError):
+            service.restore(tmp_path)
+
+    def test_restore_missing_snapshot(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            make_service().restore(tmp_path / "nope")
+
+
+class TestStatus:
+    def test_status_fields(self):
+        service = make_service()
+        service.register("s1", raw_history())
+        service.forecast("s1")
+        status = service.status()
+        assert status["n_sensors"] == 1
+        assert status["device_memory_bytes"] > 0
+        assert "s1" in status["sensors"]

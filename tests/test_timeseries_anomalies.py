@@ -1,0 +1,66 @@
+"""Tests for anomaly injection and the LB_Kim prefilter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtw import dtw_distance, lb_kim
+from repro.timeseries import (
+    inject_dropout,
+    inject_level_shift,
+    inject_spike,
+)
+
+
+class TestInjectors:
+    def test_spike(self):
+        base = np.zeros(10)
+        result = inject_spike(base, start=3, magnitude=2.0, length=2)
+        np.testing.assert_array_equal(result.values[3:5], [2.0, 2.0])
+        assert result.n_affected == 2
+        assert base.sum() == 0.0  # original untouched
+
+    def test_level_shift(self):
+        base = np.ones(6)
+        result = inject_level_shift(base, start=4, magnitude=-1.0)
+        np.testing.assert_array_equal(result.values, [1, 1, 1, 1, 0, 0])
+        assert result.mask[4:].all() and not result.mask[:4].any()
+
+    def test_dropout(self):
+        base = np.arange(8.0)
+        result = inject_dropout(base, start=2, length=3, fill=-9.0)
+        np.testing.assert_array_equal(result.values[2:5], [-9.0] * 3)
+        assert result.n_affected == 3
+
+    def test_spike_clipped_at_end(self):
+        result = inject_spike(np.zeros(5), start=4, magnitude=1.0, length=10)
+        assert result.n_affected == 1
+
+    def test_validation(self):
+        with pytest.raises(IndexError):
+            inject_spike(np.zeros(5), start=9, magnitude=1.0)
+        with pytest.raises(ValueError):
+            inject_spike(np.zeros(5), start=1, magnitude=1.0, length=0)
+        with pytest.raises(IndexError):
+            inject_level_shift(np.zeros(5), start=-1, magnitude=1.0)
+
+
+class TestLbKim:
+    def test_known_value(self):
+        assert lb_kim([1.0, 5.0, 2.0], [0.0, 9.0, 4.0]) == pytest.approx(1.0 + 4.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 500),
+        n=st.integers(2, 20),
+        rho=st.integers(0, 6),
+    )
+    def test_lower_bounds_dtw(self, seed, n, rho):
+        rng = np.random.default_rng(seed)
+        q, c = rng.normal(size=n), rng.normal(size=n)
+        assert lb_kim(q, c) <= dtw_distance(q, c, rho=rho) + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lb_kim([], [])

@@ -1,0 +1,75 @@
+"""Tests for stream quality screening."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timeseries import QualityReport, assess_quality, longest_constant_run
+
+
+class TestConstantRun:
+    def test_empty(self):
+        assert longest_constant_run(np.array([])) == 0
+
+    def test_all_constant(self):
+        assert longest_constant_run(np.full(7, 2.0)) == 7
+
+    def test_interior_run(self):
+        assert longest_constant_run(np.array([1, 2, 2, 2, 3, 3])) == 3
+
+    def test_no_repeats(self):
+        assert longest_constant_run(np.arange(5)) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=40))
+    def test_matches_naive(self, values):
+        arr = np.asarray(values)
+        best = cur = 1
+        for i in range(1, arr.size):
+            cur = cur + 1 if arr[i] == arr[i - 1] else 1
+            best = max(best, cur)
+        assert longest_constant_run(arr) == best
+
+
+class TestAssessQuality:
+    def test_clean_stream_ok(self):
+        rng = np.random.default_rng(0)
+        report = assess_quality(rng.normal(size=1000))
+        assert report.ok
+        assert report.missing_fraction == 0.0
+        assert "none" in report.render()
+
+    def test_missing_flagged(self):
+        values = np.ones(100)
+        values[:20] = np.nan
+        report = assess_quality(values)
+        assert not report.ok
+        assert any("missing" in issue for issue in report.issues)
+
+    def test_stuck_run_flagged(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=1000)
+        values[100:500] = 3.14
+        report = assess_quality(values, max_stuck_run=100)
+        assert any("stuck" in issue for issue in report.issues)
+
+    def test_outliers_flagged(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=1000)
+        values[::50] = 1e6
+        report = assess_quality(values)
+        assert any("outlier" in issue for issue in report.issues)
+
+    def test_constant_stream_flagged(self):
+        report = assess_quality(np.full(100, 9.0))
+        assert any("constant" in issue for issue in report.issues)
+
+    def test_all_missing(self):
+        report = assess_quality(np.full(10, np.nan))
+        assert not report.ok
+        assert report.missing_fraction == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            assess_quality(np.array([]))
