@@ -14,7 +14,24 @@ pieces a downstream user needs:
 
 __version__ = "1.0.0"
 
-from . import baselines, core, dtw, gp, gpu, harness, index, metrics, timeseries
+import logging as _logging
+
+# Library convention: emit records, never configure handlers — the
+# application decides where `repro.*` logs go.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
+
+from . import (
+    baselines,
+    core,
+    dtw,
+    gp,
+    gpu,
+    harness,
+    index,
+    metrics,
+    obs,
+    timeseries,
+)
 from .core import SensorFleet, SMiLer, SMiLerConfig
 from .service import Forecast, PredictionService
 
@@ -32,5 +49,6 @@ __all__ = [
     "harness",
     "index",
     "metrics",
+    "obs",
     "timeseries",
 ]

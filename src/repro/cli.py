@@ -5,22 +5,31 @@ Usage (installed as the ``repro`` package)::
     python -m repro.cli list
     python -m repro.cli run fig8 --preset small
     python -m repro.cli run table3 --preset paper --out results/table3.txt
+    python -m repro.cli run fig7 --preset tiny --metrics-out results/fig7_metrics.json
     python -m repro.cli demo --dataset MALL --steps 20
+    python -m repro.cli stats --dataset ROAD --steps 5
 
 Presets scale the synthetic workloads: ``tiny`` (seconds, CI-friendly),
 ``small`` (the benchmark defaults), ``paper`` (hours; closest to the
 paper's data sizes).
+
+``stats`` runs a short instrumented serving loop and prints the span
+tree of the last forecast plus a Prometheus-text metrics export —
+the quickest way to see the observability layer
+(``docs/observability.md``) in action.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
-from . import harness
+from . import harness, obs
 from .core import SMiLer, SMiLerConfig
 from .harness import AccuracyScale, SearchScale
+from .service import PredictionService
 from .timeseries import make_dataset
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -82,6 +91,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="workload size (default: small)",
     )
     run.add_argument("--out", type=pathlib.Path, help="also write to this file")
+    run.add_argument(
+        "--metrics-out", type=pathlib.Path,
+        help="run instrumented and dump a JSON metrics snapshot here",
+    )
 
     run_all = sub.add_parser(
         "run-all", help="regenerate every table/figure into a directory"
@@ -92,6 +105,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_all.add_argument(
         "--out-dir", type=pathlib.Path, default=pathlib.Path("results"),
     )
+    run_all.add_argument(
+        "--metrics", action="store_true",
+        help="also dump <experiment>_metrics.json alongside each result",
+    )
 
     demo = sub.add_parser("demo", help="continuous prediction on one sensor")
     demo.add_argument("--dataset", default="ROAD", help="ROAD, MALL or NET")
@@ -99,18 +116,46 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--predictor", choices=("gp", "ar"), default="gp",
     )
+
+    stats = sub.add_parser(
+        "stats", help="short instrumented serving loop: trace + metrics"
+    )
+    stats.add_argument("--dataset", default="ROAD", help="ROAD, MALL or NET")
+    stats.add_argument("--steps", type=int, default=5)
+    stats.add_argument(
+        "--predictor", choices=("gp", "ar"), default="gp",
+    )
+    stats.add_argument(
+        "--format", choices=("prom", "json"), default="prom",
+        help="metrics output format (default: prom)",
+    )
     return parser
 
 
-def _run_experiment(name: str, preset: str) -> str:
+def _run_experiment(
+    name: str, preset: str, metrics_out: pathlib.Path | None = None
+) -> str:
     driver_name, family = EXPERIMENTS[name]
     driver = getattr(harness, driver_name)
-    if family is None:
-        result = driver()
-    elif family == "search":
-        result = driver(_SEARCH_PRESETS[preset])
-    else:
-        result = driver(_ACCURACY_PRESETS[preset])
+    was_enabled = obs.is_enabled()
+    if metrics_out is not None:
+        obs.reset()
+        obs.enable()
+    try:
+        if family is None:
+            result = driver()
+        elif family == "search":
+            result = driver(_SEARCH_PRESETS[preset])
+        else:
+            result = driver(_ACCURACY_PRESETS[preset])
+    finally:
+        if metrics_out is not None and not was_enabled:
+            obs.disable()
+    if metrics_out is not None:
+        metrics_out.parent.mkdir(parents=True, exist_ok=True)
+        metrics_out.write_text(
+            json.dumps(obs.to_json(obs.get_registry()), indent=2) + "\n"
+        )
     return result.render() if hasattr(result, "render") else result
 
 
@@ -132,6 +177,45 @@ def _run_demo(dataset: str, steps: int, predictor: str) -> str:
     return "\n".join(lines)
 
 
+def _run_stats(dataset: str, steps: int, predictor: str, fmt: str) -> str:
+    """A short instrumented serving loop: last-request trace + metrics."""
+    if steps <= 0:
+        raise SystemExit("--steps must be positive")
+    ds = make_dataset(
+        dataset, n_sensors=1, n_points=1500, test_points=max(steps, 8)
+    )
+    history, tail = ds.sensor(0)
+    was_enabled = obs.is_enabled()
+    obs.reset()
+    obs.enable()
+    try:
+        service = PredictionService(
+            config=SMiLerConfig(predictor=predictor),
+            min_history=min(256, history.values.size),
+        )
+        service.register("demo-sensor", history.values)
+        service.forecast("demo-sensor")
+        # The first forecast runs the full pipeline (later ones reuse the
+        # ingest-time kNN answers), so its trace is the one worth showing.
+        trace = service.trace_last_request()
+        for step in range(steps):
+            service.ingest("demo-sensor", float(tail[step]))
+            service.forecast("demo-sensor")
+    finally:
+        if not was_enabled:
+            obs.disable()
+    lines = [f"== first-request trace ({dataset.upper()}, "
+             f"SMiLer-{predictor.upper()}) =="]
+    lines.append(obs.format_span_tree(trace))
+    lines.append("")
+    lines.append("== metrics ==")
+    if fmt == "json":
+        lines.append(json.dumps(service.metrics(), indent=2))
+    else:
+        lines.append(obs.to_prometheus(obs.get_registry()).rstrip("\n"))
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -140,7 +224,7 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     if args.command == "run":
-        report = _run_experiment(args.experiment, args.preset)
+        report = _run_experiment(args.experiment, args.preset, args.metrics_out)
         print(report)
         if args.out:
             args.out.parent.mkdir(parents=True, exist_ok=True)
@@ -150,7 +234,12 @@ def main(argv: list[str] | None = None) -> int:
         args.out_dir.mkdir(parents=True, exist_ok=True)
         for name in sorted(EXPERIMENTS):
             print(f"== {name} ({args.preset}) ==", flush=True)
-            report = _run_experiment(name, args.preset)
+            metrics_out = None
+            if args.metrics:
+                metrics_out = (
+                    args.out_dir / f"{name.replace('-', '_')}_metrics.json"
+                )
+            report = _run_experiment(name, args.preset, metrics_out)
             print(report)
             (args.out_dir / f"{name.replace('-', '_')}.txt").write_text(
                 report + "\n"
@@ -158,6 +247,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "demo":
         print(_run_demo(args.dataset, args.steps, args.predictor))
+        return 0
+    if args.command == "stats":
+        print(_run_stats(args.dataset, args.steps, args.predictor, args.format))
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

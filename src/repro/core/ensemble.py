@@ -20,6 +20,7 @@ mixture (Eqn. 3).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -28,6 +29,8 @@ import numpy as np
 from .predictor import GaussianPrediction, SemiLazyPredictor
 
 __all__ = ["Cell", "CellState", "AdaptiveEnsemble", "EnsembleOutput"]
+
+logger = logging.getLogger(__name__)
 
 #: A matrix cell: (k_i, d_j) — neighbour count and segment length.
 Cell = tuple[int, int]
@@ -198,6 +201,9 @@ class AdaptiveEnsemble:
             st.sleep_remaining = st.sleep_span
             st.just_recovered = False
             st.weight = 0.0
+            logger.debug(
+                "cell %s falls asleep for %d steps", cell, st.sleep_span
+            )
         if going_to_sleep:
             self._normalise_awake()
         return set(going_to_sleep)
@@ -220,4 +226,5 @@ class AdaptiveEnsemble:
             st.asleep = False
             st.weight = raw
             st.just_recovered = True
+            logger.debug("cell %s wakes at weight %.4f", cell, raw)
         self._normalise_awake()

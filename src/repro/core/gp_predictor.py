@@ -17,15 +17,20 @@ Two training regimes, exactly as the paper describes:
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from ..gp.kernels import SquaredExponentialKernel
 from ..gp.loo import loo_objective
 from ..gp.optimize import conjugate_gradient_minimize
 from ..gp.regression import GaussianProcessRegressor
+from ..obs import hooks as obs
 from .predictor import GaussianPrediction, SemiLazyPredictor
 
 __all__ = ["GaussianProcessPredictor"]
+
+logger = logging.getLogger(__name__)
 
 #: Soft box for log-hyperparameters.  LOO likelihood is flat along the
 #: ridge theta0, theta1 -> inf (the SE kernel's linear limit) where the
@@ -99,6 +104,13 @@ class GaussianProcessPredictor(SemiLazyPredictor):
                 max_iters=budget,
             )
             self.cg_iterations += result.iterations
+            obs.observe_gp_training(result.iterations, result.converged)
+            if not result.converged:
+                logger.debug(
+                    "GP LOO-CG training stopped without convergence after "
+                    "%d/%d iterations (objective %.6g)",
+                    result.iterations, budget, result.value,
+                )
             start = result.x
         self._log_params = np.clip(np.asarray(start), -_LOG_BOUND, _LOG_BOUND)
         self.train_calls += 1
@@ -119,8 +131,12 @@ class GaussianProcessPredictor(SemiLazyPredictor):
         # weak (long horizons), losing to plain aggregation.
         target_mean = float(targets.mean())
         centred = targets - target_mean
-        kernel = self._train(neighbours, centred)
-        gp = GaussianProcessRegressor(kernel).fit(neighbours, centred)
+        with obs.span("gp_fit") as sp:
+            if sp is not None:
+                sp.attrs["k"] = int(neighbours.shape[0])
+                sp.attrs["d"] = int(neighbours.shape[1])
+            kernel = self._train(neighbours, centred)
+            gp = GaussianProcessRegressor(kernel).fit(neighbours, centred)
         mean, var = gp.predict(query[None, :], include_noise=True)
         mean = mean + target_mean
         if not np.isfinite(mean[0]) or not np.isfinite(var[0]):

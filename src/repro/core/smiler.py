@@ -17,6 +17,7 @@ Fig. 12(c).
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -25,6 +26,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from ..gpu.device import GpuDevice
 from ..index.suffix_search import SuffixKnnAnswer, SuffixKnnEngine, SuffixSearchConfig
+from ..obs import hooks as obs
 from .ar import AggregationPredictor
 from .config import SMiLerConfig
 from .ensemble import AdaptiveEnsemble, Cell, EnsembleOutput
@@ -32,6 +34,8 @@ from .gp_predictor import GaussianProcessPredictor
 from .predictor import GaussianPrediction, SemiLazyPredictor
 
 __all__ = ["SMiLer", "SensorFleet"]
+
+logger = logging.getLogger(__name__)
 
 
 def _make_predictor(config: SMiLerConfig) -> "SemiLazyPredictor":
@@ -144,14 +148,20 @@ class SMiLer:
                 f"horizons {unknown} not configured; available: "
                 f"{self.config.horizons}"
             )
-        answers = self._current_answers()
-        outputs: dict[int, EnsembleOutput] = {}
-        for h in horizons:
-            ensemble = self._ensembles[h]
-            inputs = self._cell_inputs(answers, h, ensemble.awake_cells())
-            output = ensemble.predict(inputs)
-            outputs[h] = output
-            self._remember(h, output)
+        with obs.span("predict", self.device) as sp:
+            if sp is not None:
+                sp.attrs["sensor_id"] = self.sensor_id
+            answers = self._current_answers()
+            outputs: dict[int, EnsembleOutput] = {}
+            for h in horizons:
+                ensemble = self._ensembles[h]
+                inputs = self._cell_inputs(answers, h, ensemble.awake_cells())
+                with obs.span("ensemble_mix", self.device) as esp:
+                    if esp is not None:
+                        esp.attrs["horizon"] = h
+                    output = ensemble.predict(inputs)
+                outputs[h] = output
+                self._remember(h, output)
         return outputs
 
     def _remember(self, horizon: int, output: EnsembleOutput) -> None:
@@ -169,6 +179,10 @@ class SMiLer:
         arrived = self._now
         for h, queue in self._pending.items():
             while queue and queue[0].due_index < arrived:
+                logger.debug(
+                    "%s: dropping stale h=%d prediction due at %d (now %d)",
+                    self.sensor_id, h, queue[0].due_index, arrived,
+                )
                 queue.popleft()  # stale (prediction was never scored)
             if queue and queue[0].due_index == arrived:
                 update = queue.popleft()

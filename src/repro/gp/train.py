@@ -12,6 +12,8 @@ ablations.  Gradient (per log-hyperparameter theta_j):
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 from scipy.linalg import cho_solve
 
@@ -20,6 +22,8 @@ from .optimize import conjugate_gradient_minimize
 from .regression import GaussianProcessRegressor, robust_cholesky
 
 __all__ = ["marginal_likelihood_objective", "fit_exact_gp"]
+
+logger = logging.getLogger(__name__)
 
 
 def marginal_likelihood_objective(
@@ -79,5 +83,11 @@ def fit_exact_gp(
         seed_kernel.log_params,
         max_iters=max_iters,
     )
+    if not result.converged:
+        logger.debug(
+            "exact-GP marginal-likelihood training stopped without "
+            "convergence after %d/%d iterations (objective %.6g)",
+            result.iterations, max_iters, result.value,
+        )
     trained = kernel_cls.from_log_params(result.x)
     return GaussianProcessRegressor(trained).fit(x, y)

@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..obs.hooks import observe_kernel_launch
+
 __all__ = ["DeviceSpec", "CPU_SPEC", "GpuCostModel", "CpuCostModel"]
 
 
@@ -109,6 +111,7 @@ class GpuCostModel:
         self.elapsed_s += duration
         self.per_kernel_s[name] = self.per_kernel_s.get(name, 0.0) + duration
         self.launches += 1
+        observe_kernel_launch(name, duration, n_blocks, occupancy * block_cycles)
         return duration
 
     def reset(self) -> None:

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.hooks import observe_gpu_memory
 from .costmodel import DeviceSpec, GpuCostModel
 
 __all__ = ["GpuDevice", "GpuMemoryError", "Allocation"]
@@ -77,6 +78,7 @@ class GpuDevice:
         handle = Allocation(label=label, nbytes=nbytes, serial=self._serial)
         self._live[handle.serial] = handle
         self._allocated += nbytes
+        observe_gpu_memory(self._allocated)
         return handle
 
     def free(self, handle: Allocation) -> None:
@@ -85,6 +87,7 @@ class GpuDevice:
             raise KeyError(f"allocation {handle} is not live")
         del self._live[handle.serial]
         self._allocated -= handle.nbytes
+        observe_gpu_memory(self._allocated)
 
     @property
     def allocated_bytes(self) -> int:

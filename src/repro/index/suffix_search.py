@@ -27,6 +27,7 @@ repeats with threshold reuse.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,10 +35,13 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from ..gpu.device import GpuDevice
 from ..gpu.kernels import dtw_verification_kernel, k_select_kernel
+from ..obs import hooks as obs
 from .group_index import GroupLevelIndex, ItemLowerBounds
 from .window_index import WindowLevelIndex
 
 __all__ = ["SuffixSearchConfig", "SuffixKnnEngine", "SuffixKnnAnswer"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -134,10 +138,13 @@ class SuffixKnnEngine:
     # --------------------------------------------------------------- search
     def search(self) -> dict[int, SuffixKnnAnswer]:
         """Run the Suffix kNN Search for every item query."""
-        bounds = self.group_index.compute()
-        return {
-            d: self._search_one(d, bounds[d]) for d in self.config.item_lengths
-        }
+        with obs.span("search", self.device):
+            with obs.span("lower_bounds", self.device):
+                bounds = self.group_index.compute()
+            return {
+                d: self._search_one(d, bounds[d])
+                for d in self.config.item_lengths
+            }
 
     def step(self, new_point: float) -> dict[int, SuffixKnnAnswer]:
         """Advance one continuous tick, then search with reuse."""
@@ -174,40 +181,52 @@ class SuffixKnnEngine:
 
         before = self.device.elapsed_s
 
-        # --- threshold tau_i -------------------------------------------------
-        prev = self._previous_knn.get(d)
-        if cfg.reuse_threshold and prev is not None:
-            # Previous kNN segments are near-optimal for the barely-moved
-            # query; their k-th smallest current DTW is a tight threshold.
-            seed_starts = prev[(prev >= starts[0]) & (prev <= starts[-1])]
-            if seed_starts.size < k:
-                extra = starts[np.argsort(bound, kind="stable")[:k]]
-                seed_starts = np.union1d(seed_starts, extra)
-        else:
-            pool = min(max(4 * k, 64), starts.size)
-            seed_starts = starts[np.argpartition(bound, pool - 1)[:pool]]
-        seed_distances = dtw_verification_kernel(
-            self.device, query, segments[seed_starts], cfg.rho
-        )
-        tau = float(np.partition(seed_distances, k - 1)[k - 1])
+        with obs.span("dtw_refine", self.device) as sp:
+            # --- threshold tau_i ---------------------------------------------
+            prev = self._previous_knn.get(d)
+            if cfg.reuse_threshold and prev is not None:
+                # Previous kNN segments are near-optimal for the barely-moved
+                # query; their k-th smallest current DTW is a tight threshold.
+                seed_starts = prev[(prev >= starts[0]) & (prev <= starts[-1])]
+                if seed_starts.size < k:
+                    extra = starts[np.argsort(bound, kind="stable")[:k]]
+                    seed_starts = np.union1d(seed_starts, extra)
+            else:
+                logger.debug(
+                    "item d=%d: no previous kNN to reuse; seeding tau from "
+                    "the smallest-LB pool", d,
+                )
+                pool = min(max(4 * k, 64), starts.size)
+                seed_starts = starts[np.argpartition(bound, pool - 1)[:pool]]
+            seed_distances = dtw_verification_kernel(
+                self.device, query, segments[seed_starts], cfg.rho
+            )
+            tau = float(np.partition(seed_distances, k - 1)[k - 1])
 
-        # --- filtering --------------------------------------------------------
-        unfiltered = starts[bound <= tau + 1e-12]
-        # Seeds are already verified; drop them from the batch.
-        to_verify = np.setdiff1d(unfiltered, seed_starts, assume_unique=False)
+            # --- filtering ---------------------------------------------------
+            unfiltered = starts[bound <= tau + 1e-12]
+            # Seeds are already verified; drop them from the batch.
+            to_verify = np.setdiff1d(
+                unfiltered, seed_starts, assume_unique=False
+            )
 
-        # --- verification -----------------------------------------------------
-        distances = dtw_verification_kernel(
-            self.device, query, segments[to_verify], cfg.rho
-        )
-        all_starts = np.concatenate([seed_starts, to_verify])
-        all_distances = np.concatenate([seed_distances, distances])
+            # --- verification ------------------------------------------------
+            distances = dtw_verification_kernel(
+                self.device, query, segments[to_verify], cfg.rho
+            )
+            all_starts = np.concatenate([seed_starts, to_verify])
+            all_distances = np.concatenate([seed_distances, distances])
+            if sp is not None:
+                sp.attrs["item_length"] = d
+                sp.attrs["verified"] = int(all_starts.size)
 
-        # --- selection ----------------------------------------------------------
-        top = k_select_kernel(self.device, all_distances, k)
+        # --- selection -------------------------------------------------------
+        with obs.span("k_select", self.device):
+            top = k_select_kernel(self.device, all_distances, k)
         answer_starts = all_starts[top]
         answer_distances = all_distances[top]
         self._previous_knn[d] = answer_starts.copy()
+        obs.observe_search(d, int(starts.size), int(unfiltered.size))
 
         return SuffixKnnAnswer(
             item_length=d,

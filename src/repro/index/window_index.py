@@ -40,6 +40,7 @@ from ..dtw.envelope import Envelope, compute_envelope, envelope_extend
 from ..dtw.lower_bounds import window_pair_lb_matrices
 from ..gpu.device import GpuDevice
 from ..gpu.kernels import OPS_PER_LB_TERM, THREADS_PER_BLOCK
+from ..obs.hooks import observe_window_reuse
 
 __all__ = ["WindowLevelIndex"]
 
@@ -162,6 +163,7 @@ class WindowLevelIndex:
         self._lbec[:, : self.n_dw] = lbec
         self._built = True
         self.rows_built_full += self.n_sw
+        observe_window_reuse(rows_built_full=self.n_sw)
         per_thread = (
             -(-self.n_dw // THREADS_PER_BLOCK) * self.omega * 2 * OPS_PER_LB_TERM
         )
@@ -222,6 +224,11 @@ class WindowLevelIndex:
             else:
                 self.rows_recomputed_lbeq += 1
         self.rows_reused += self.n_sw - len(list(refresh))
+        observe_window_reuse(
+            rows_built_full=1,
+            rows_recomputed_lbeq=max(len(list(refresh)) - 1, 0),
+            rows_reused=self.n_sw - len(list(refresh)),
+        )
         per_thread = (
             -(-self.n_dw // THREADS_PER_BLOCK) * self.omega * 2 * OPS_PER_LB_TERM
         )
@@ -282,6 +289,7 @@ class WindowLevelIndex:
             self._lbeq[slot, cols] = lbeq[b]
             self._lbec[slot, cols] = lbec[b]
         self.columns_recomputed_lbec += self.n_dw - r_lo
+        observe_window_reuse(columns_recomputed_lbec=self.n_dw - r_lo)
 
     # -------------------------------------------------------------- exports
     def posting_matrices(self) -> tuple[np.ndarray, np.ndarray]:

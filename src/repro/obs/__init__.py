@@ -1,0 +1,74 @@
+"""Observability for the SMiLer serving stack.
+
+The paper's performance story (Figs. 7-13) is about *where time goes* —
+LB_en pruning ratios, window/group reuse, GP training budgets, kernel
+occupancy.  This package makes those quantities first-class at runtime:
+
+* :mod:`repro.obs.registry` — process-wide counters, gauges and
+  histograms with labels;
+* :mod:`repro.obs.tracing` — nested ``span()`` trees over the request
+  path with wall-clock and simulated-GPU-second attribution;
+* :mod:`repro.obs.exposition` — Prometheus text and JSON snapshots;
+* :mod:`repro.obs.hooks` — the hot-path hooks the serving stack calls,
+  gated by one global switch (:func:`enable` / :func:`disable`).
+
+Instrumentation is **off by default** and free when off: every hook is a
+single flag check.  Typical use::
+
+    from repro import obs
+    obs.enable()
+    service.forecast("sensor-0")
+    print(obs.to_prometheus(obs.get_registry()))
+    print(obs.format_span_tree(service.trace_last_request()))
+"""
+
+from .exposition import to_json, to_prometheus
+from .hooks import (
+    disable,
+    enable,
+    get_registry,
+    get_tracer,
+    is_enabled,
+    observe_forecast,
+    observe_gp_training,
+    observe_gpu_memory,
+    observe_kernel_launch,
+    observe_search,
+    observe_window_reuse,
+    reset,
+    span,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelCardinalityError,
+    MetricsRegistry,
+)
+from .tracing import Span, Tracer, format_span_tree
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabelCardinalityError",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "format_span_tree",
+    "get_registry",
+    "get_tracer",
+    "is_enabled",
+    "observe_forecast",
+    "observe_gp_training",
+    "observe_gpu_memory",
+    "observe_kernel_launch",
+    "observe_search",
+    "observe_window_reuse",
+    "reset",
+    "span",
+    "to_json",
+    "to_prometheus",
+]

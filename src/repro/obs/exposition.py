@@ -1,0 +1,117 @@
+"""Metric exposition: Prometheus text format and JSON snapshots.
+
+``to_prometheus`` renders the registry in the Prometheus text exposition
+format (version 0.0.4) — ``# HELP`` / ``# TYPE`` headers, one line per
+series, histograms as cumulative ``_bucket{le=...}`` series plus
+``_sum`` / ``_count``.  The output is scrape-ready: serve it under
+``/metrics`` with any HTTP server (or dump it to a file and point a
+``textfile`` collector at it).
+
+``to_json`` renders the same state as a plain dict for programmatic
+consumers (the experiment harness's ``--metrics-out`` snapshots and
+:meth:`repro.service.PredictionService.metrics`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["to_prometheus", "to_json"]
+
+
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_labels(labels: dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in labels.items()
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every metric in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for key in metric.series_keys():
+                labels = _format_labels(metric.labels_of(key))
+                value = metric.value(**metric.labels_of(key))
+                lines.append(f"{metric.name}{labels} {_format_value(value)}")
+        elif isinstance(metric, Histogram):
+            for key in metric.series_keys():
+                label_dict = metric.labels_of(key)
+                series = metric.series(**label_dict)
+                if series is None:  # pragma: no cover - racy delete only
+                    continue
+                cumulative = series.cumulative()
+                bounds = list(metric.bounds) + [math.inf]
+                for bound, count in zip(bounds, cumulative):
+                    le = _format_labels(
+                        label_dict, extra=f'le="{_format_value(bound)}"'
+                    )
+                    lines.append(f"{metric.name}_bucket{le} {count}")
+                labels = _format_labels(label_dict)
+                lines.append(
+                    f"{metric.name}_sum{labels} {_format_value(series.sum)}"
+                )
+                lines.append(f"{metric.name}_count{labels} {series.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(registry: MetricsRegistry) -> dict:
+    """Snapshot the registry as a JSON-serialisable dict."""
+    out: dict[str, dict] = {}
+    for metric in registry.metrics():
+        record: dict = {
+            "kind": metric.kind,
+            "help": metric.help,
+            "label_names": list(metric.label_names),
+            "series": [],
+        }
+        if isinstance(metric, (Counter, Gauge)):
+            for key in metric.series_keys():
+                labels = metric.labels_of(key)
+                record["series"].append(
+                    {"labels": labels, "value": metric.value(**labels)}
+                )
+        elif isinstance(metric, Histogram):
+            record["buckets"] = list(metric.bounds)
+            for key in metric.series_keys():
+                labels = metric.labels_of(key)
+                series = metric.series(**labels)
+                if series is None:  # pragma: no cover - racy delete only
+                    continue
+                record["series"].append(
+                    {
+                        "labels": labels,
+                        "count": series.count,
+                        "sum": series.sum,
+                        "bucket_counts": series.cumulative(),
+                        "p50": series.quantile(0.5, metric.bounds),
+                        "p95": series.quantile(0.95, metric.bounds),
+                        "p99": series.quantile(0.99, metric.bounds),
+                    }
+                )
+        out[metric.name] = record
+    return out

@@ -1,0 +1,242 @@
+"""Hot-path instrumentation hooks gated by one global switch.
+
+Every instrumented call site in the serving stack funnels through this
+module.  The contract that keeps tier-1 tests and benchmarks honest:
+
+* **Disabled (the default)** — each hook is a single module-global flag
+  check followed by an immediate return (or, for :func:`span`, the
+  shared no-op context manager).  No dicts, no label tuples, no objects
+  are allocated on the disabled path.
+* **Enabled** — hooks record into the process-wide
+  :class:`~repro.obs.registry.MetricsRegistry` and
+  :class:`~repro.obs.tracing.Tracer` returned by :func:`get_registry`
+  and :func:`get_tracer`.
+
+The metric catalog (names, types, labels) lives in
+``docs/observability.md``; hooks here are the single source of truth for
+what gets emitted.
+"""
+
+from __future__ import annotations
+
+from .registry import MetricsRegistry
+from .tracing import Span, Tracer
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "reset",
+    "get_registry",
+    "get_tracer",
+    "span",
+    "observe_kernel_launch",
+    "observe_gpu_memory",
+    "observe_search",
+    "observe_window_reuse",
+    "observe_forecast",
+    "observe_gp_training",
+]
+
+#: Simulated-GPU-seconds buckets (kernel launches are micro- to
+#: milli-second scale under the cost model).
+_SIM_SECONDS_BUCKETS = (
+    1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 0.1, 1.0,
+)
+#: Device-cycle buckets (decades from 1k to 10G cycles).
+_CYCLE_BUCKETS = tuple(10.0 ** e for e in range(3, 11))
+
+_enabled = False
+_registry = MetricsRegistry()
+_tracer = Tracer()
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+# ------------------------------------------------------------------ switch
+def enable() -> None:
+    """Turn instrumentation on process-wide."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn instrumentation off (hooks become flag-check no-ops)."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether instrumentation is currently on."""
+    return _enabled
+
+
+def reset() -> None:
+    """Clear all collected metrics and traces (the switch is untouched)."""
+    _registry.reset()
+    _tracer.reset()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _registry
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _tracer
+
+
+# ----------------------------------------------------------------- tracing
+def span(name: str, device=None) -> "Span | _NoopSpan":
+    """Open a pipeline span (no-op singleton when disabled)."""
+    if not _enabled:
+        return _NOOP_SPAN
+    return _tracer.span(name, device)
+
+
+# ------------------------------------------------------------- gpu kernels
+def observe_kernel_launch(
+    kernel: str, duration_s: float, n_blocks: int, cycles: float
+) -> None:
+    """Record one simulated kernel launch (called by the cost model)."""
+    if not _enabled:
+        return
+    _registry.counter(
+        "smiler_gpu_kernel_launches_total",
+        "Simulated kernel launches by kernel name.",
+        label_names=("kernel",),
+    ).inc(kernel=kernel)
+    _registry.counter(
+        "smiler_gpu_kernel_blocks_total",
+        "Thread blocks scheduled, by kernel name.",
+        label_names=("kernel",),
+    ).inc(n_blocks, kernel=kernel)
+    _registry.histogram(
+        "smiler_gpu_kernel_sim_seconds",
+        "Simulated duration of one kernel launch.",
+        label_names=("kernel",),
+        buckets=_SIM_SECONDS_BUCKETS,
+    ).observe(duration_s, kernel=kernel)
+    _registry.histogram(
+        "smiler_gpu_kernel_cycles",
+        "Simulated core-cycles of one kernel launch.",
+        label_names=("kernel",),
+        buckets=_CYCLE_BUCKETS,
+    ).observe(cycles, kernel=kernel)
+
+
+def observe_gpu_memory(allocated_bytes: int) -> None:
+    """Track the device-memory ledger after a malloc/free."""
+    if not _enabled:
+        return
+    _registry.gauge(
+        "smiler_gpu_memory_allocated_bytes",
+        "Bytes currently allocated on the simulated device.",
+    ).set(allocated_bytes)
+
+
+# ------------------------------------------------------------------ search
+def observe_search(
+    item_length: int, candidates_total: int, candidates_unfiltered: int
+) -> None:
+    """Record one Suffix kNN search's pruning effectiveness."""
+    if not _enabled:
+        return
+    _registry.counter(
+        "smiler_search_queries_total",
+        "Suffix kNN item-query searches executed.",
+        label_names=("item_length",),
+    ).inc(item_length=item_length)
+    _registry.counter(
+        "smiler_search_candidates_total",
+        "Candidate segments considered, by item length.",
+        label_names=("item_length",),
+    ).inc(candidates_total, item_length=item_length)
+    _registry.counter(
+        "smiler_search_candidates_pruned_total",
+        "Candidates pruned by the LB_en filter, by item length.",
+        label_names=("item_length",),
+    ).inc(
+        candidates_total - candidates_unfiltered, item_length=item_length
+    )
+    _registry.counter(
+        "smiler_search_candidates_verified_total",
+        "Candidates that reached DTW verification, by item length.",
+        label_names=("item_length",),
+    ).inc(candidates_unfiltered, item_length=item_length)
+
+
+def observe_window_reuse(
+    rows_built_full: int = 0,
+    rows_recomputed_lbeq: int = 0,
+    rows_reused: int = 0,
+    columns_recomputed_lbec: int = 0,
+) -> None:
+    """Record window-index posting-list work deltas (Remark 1 reuse)."""
+    if not _enabled:
+        return
+    counter = _registry.counter(
+        "smiler_window_index_rows_total",
+        "Window-index posting-list rows by outcome: built_full (from "
+        "scratch), recomputed_lbeq (envelope refresh only), reused "
+        "(survived untouched).",
+        label_names=("outcome",),
+    )
+    if rows_built_full:
+        counter.inc(rows_built_full, outcome="built_full")
+    if rows_recomputed_lbeq:
+        counter.inc(rows_recomputed_lbeq, outcome="recomputed_lbeq")
+    if rows_reused:
+        counter.inc(rows_reused, outcome="reused")
+    if columns_recomputed_lbec:
+        _registry.counter(
+            "smiler_window_index_lbec_columns_recomputed_total",
+            "Trailing LB_EC columns recomputed after appends.",
+        ).inc(columns_recomputed_lbec)
+
+
+# ----------------------------------------------------------------- serving
+def observe_forecast(sensor_id: str, horizon: int, latency_s: float) -> None:
+    """Record one served forecast and its end-to-end latency."""
+    if not _enabled:
+        return
+    _registry.counter(
+        "smiler_forecasts_total",
+        "Forecast requests served.",
+        label_names=("sensor_id", "horizon"),
+    ).inc(sensor_id=sensor_id, horizon=horizon)
+    _registry.histogram(
+        "smiler_forecast_latency_seconds",
+        "End-to-end forecast latency (wall-clock).",
+        label_names=("sensor_id",),
+    ).observe(latency_s, sensor_id=sensor_id)
+
+
+def observe_gp_training(iterations: int, converged: bool) -> None:
+    """Record one online GP hyperparameter fit."""
+    if not _enabled:
+        return
+    _registry.counter(
+        "smiler_gp_train_calls_total",
+        "GP hyperparameter training runs, by convergence outcome.",
+        label_names=("converged",),
+    ).inc(converged=converged)
+    _registry.counter(
+        "smiler_gp_cg_iterations_total",
+        "Conjugate-gradient iterations spent on GP training.",
+    ).inc(iterations)

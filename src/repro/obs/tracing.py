@@ -1,0 +1,167 @@
+"""Lightweight pipeline tracing: nested spans with time attribution.
+
+A :class:`Span` measures one stage of the request path (``forecast``,
+``predict``, ``search``, ``dtw_refine``, ``gp_fit`` ...).  Spans nest via
+a thread-local stack managed by the :class:`Tracer`; entering a span
+while another is open makes it a child, so one ``forecast()`` call
+produces a tree mirroring the pipeline of the paper's Fig. 3.
+
+Each span records
+
+* **wall-clock** — ``time.perf_counter`` delta between enter and exit,
+* **simulated GPU time** — when constructed with a device, the delta of
+  :attr:`repro.gpu.device.GpuDevice.elapsed_s` across the span, i.e. the
+  simulated kernel seconds *attributable to this stage* (children's
+  device time is included in the parent's, exactly like wall-clock).
+
+Spans are context managers::
+
+    tracer = Tracer()
+    with tracer.span("search", device=device):
+        with tracer.span("lower_bounds", device=device):
+            ...
+
+Completed root spans are retained on ``tracer.last_root`` for
+``trace_last_request()``-style APIs.  The module is dependency-free and
+never touches the global enable switch — :mod:`repro.obs.hooks` decides
+*whether* to trace; this module only knows *how*.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["Span", "Tracer", "format_span_tree"]
+
+
+class Span:
+    """One timed stage; also the context manager that times it."""
+
+    __slots__ = (
+        "name", "attrs", "children", "wall_s", "gpu_sim_s",
+        "_tracer", "_device", "_t0", "_gpu0",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, device=None) -> None:
+        self.name = name
+        self.attrs: dict[str, object] = {}
+        self.children: list[Span] = []
+        self.wall_s = 0.0
+        self.gpu_sim_s = 0.0
+        self._tracer = tracer
+        self._device = device
+        self._t0 = 0.0
+        self._gpu0 = 0.0
+
+    # -------------------------------------------------------------- context
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        if self._device is not None:
+            self._gpu0 = self._device.elapsed_s
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_s = time.perf_counter() - self._t0
+        if self._device is not None:
+            self.gpu_sim_s = self._device.elapsed_s - self._gpu0
+        self._tracer._pop(self)
+        return False
+
+    # ---------------------------------------------------------------- views
+    def find(self, name: str) -> "Span | None":
+        """Depth-first search for the first descendant named ``name``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def find_all(self, name: str) -> list["Span"]:
+        """Every descendant named ``name``, depth-first order."""
+        out = []
+        for child in self.children:
+            if child.name == name:
+                out.append(child)
+            out.extend(child.find_all(name))
+        return out
+
+    def as_dict(self) -> dict:
+        """JSON-friendly nested record."""
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "gpu_sim_s": self.gpu_sim_s,
+            "attrs": dict(self.attrs),
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, wall={self.wall_s:.6f}s, "
+            f"gpu={self.gpu_sim_s:.6f}s, children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Thread-local span stack + last-completed-root retention."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self.last_root: Span | None = None
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, device=None) -> Span:
+        """A new span; nests under the currently open span on this thread."""
+        return Span(self, name, device)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread (None outside spans)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate exception-driven unwinds: pop through to this span.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if not stack:
+            self.last_root = span
+
+    def reset(self) -> None:
+        """Forget the retained root and this thread's open stack."""
+        self.last_root = None
+        self._local.stack = []
+
+
+def format_span_tree(span: Span, indent: int = 0) -> str:
+    """Human-readable tree: name, wall seconds, simulated GPU seconds."""
+    attrs = ""
+    if span.attrs:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+        attrs = f"  [{inner}]"
+    line = (
+        f"{'  ' * indent}{span.name:<24s} "
+        f"wall={span.wall_s * 1e3:8.3f}ms  gpu={span.gpu_sim_s * 1e3:8.3f}ms"
+        f"{attrs}"
+    )
+    lines = [line]
+    for child in span.children:
+        lines.append(format_span_tree(child, indent + 1))
+    return "\n".join(lines)

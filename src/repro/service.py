@@ -21,7 +21,9 @@ processes exactly as the paper shards them across GPUs.
 
 from __future__ import annotations
 
+import logging
 import pathlib
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,10 +32,15 @@ from scipy.special import erfinv
 from .core.config import SMiLerConfig
 from .core.persistence import load_smiler, save_smiler
 from .core.smiler import SMiLer
-from .gpu.device import GpuDevice
+from .gpu.device import Allocation, GpuDevice
+from .obs import hooks as obs
+from .obs.exposition import to_json
+from .obs.tracing import Span
 from .timeseries.series import ZNormStats
 
 __all__ = ["Forecast", "PredictionService"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -76,6 +83,8 @@ class PredictionService:
         self.min_history = min_history
         self._sensors: dict[str, SMiLer] = {}
         self._norms: dict[str, ZNormStats] = {}
+        self._allocations: dict[str, Allocation] = {}
+        self._last_trace: Span | None = None
 
     # ------------------------------------------------------------ lifecycle
     def register(self, sensor_id: str, history: np.ndarray) -> None:
@@ -99,15 +108,23 @@ class PredictionService:
             stats.apply(history), self.config, device=self.device,
             sensor_id=sensor_id,
         )
-        self.device.malloc(smiler.memory_bytes(), label=sensor_id)
+        self._allocations[sensor_id] = self.device.malloc(
+            smiler.memory_bytes(), label=sensor_id
+        )
         self._sensors[sensor_id] = smiler
         self._norms[sensor_id] = stats
+        logger.debug(
+            "registered sensor %s: %d history points, %d index bytes",
+            sensor_id, history.size, smiler.memory_bytes(),
+        )
 
     def deregister(self, sensor_id: str) -> None:
-        """Remove a sensor from the service."""
+        """Remove a sensor from the service and free its device memory."""
         self._require(sensor_id)
         del self._sensors[sensor_id]
         del self._norms[sensor_id]
+        self.device.free(self._allocations.pop(sensor_id))
+        logger.debug("deregistered sensor %s", sensor_id)
 
     @property
     def sensor_ids(self) -> list[str]:
@@ -137,8 +154,21 @@ class PredictionService:
         if not 0.0 < level < 1.0:
             raise ValueError(f"level must be in (0, 1), got {level}")
         smiler = self._require(sensor_id)
-        horizon = horizon or min(self.config.horizons)
-        output = smiler.predict(horizon=horizon)[horizon]
+        if horizon is None:
+            horizon = min(self.config.horizons)
+        elif horizon <= 0:
+            # Explicit None-check above: `horizon or default` would
+            # silently remap a (buggy) horizon=0 to the default.
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        t0 = time.perf_counter()
+        with obs.span("forecast", self.device) as sp:
+            if sp is not None:
+                sp.attrs["sensor_id"] = sensor_id
+                sp.attrs["horizon"] = horizon
+            output = smiler.predict(horizon=horizon)[horizon]
+        if sp is not None:
+            self._last_trace = sp
+        obs.observe_forecast(sensor_id, horizon, time.perf_counter() - t0)
         stats = self._norms[sensor_id]
         mean = float(stats.invert(np.array([output.mean]))[0])
         std = float(np.sqrt(stats.invert_variance(np.array([output.variance]))[0]))
@@ -199,7 +229,25 @@ class PredictionService:
             self._norms[sensor_id] = ZNormStats(
                 mean=raw[f"{sensor_id}_mean"], std=raw[f"{sensor_id}_std"]
             )
-            self.device.malloc(smiler.memory_bytes(), label=sensor_id)
+            self._allocations[sensor_id] = self.device.malloc(
+                smiler.memory_bytes(), label=sensor_id
+            )
+
+    # ------------------------------------------------------- observability
+    def metrics(self) -> dict:
+        """JSON snapshot of the process-wide metrics registry.
+
+        Empty until :func:`repro.obs.enable` is called — instrumentation
+        is off by default and free when off.
+        """
+        return to_json(obs.get_registry())
+
+    def trace_last_request(self) -> Span | None:
+        """Span tree of the most recent instrumented ``forecast()`` call.
+
+        ``None`` until a forecast runs with observability enabled.
+        """
+        return self._last_trace
 
     # ------------------------------------------------------------- status
     def status(self) -> dict:

@@ -37,6 +37,53 @@ class TestRun:
             main(["run", "nope"])
 
 
+class TestMetricsOut:
+    def test_run_writes_metrics_snapshot(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "fig8_metrics.json"
+        assert main(
+            ["run", "fig8", "--preset", "tiny", "--metrics-out", str(out)]
+        ) == 0
+        snapshot = json.loads(out.read_text())
+        assert "smiler_gpu_kernel_launches_total" in snapshot
+
+    def test_run_without_flag_stays_uninstrumented(self, capsys):
+        from repro import obs
+
+        assert main(["run", "fig1", "--preset", "tiny"]) == 0
+        assert not obs.is_enabled()
+
+
+class TestStats:
+    def test_stats_prints_trace_and_prometheus(self, capsys):
+        assert main(
+            ["stats", "--dataset", "MALL", "--steps", "2",
+             "--predictor", "ar"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "forecast" in out
+        assert "search" in out
+        assert "smiler_gpu_kernel_launches_total" in out
+        assert "smiler_forecast_latency_seconds_bucket" in out
+
+    def test_stats_json_format(self, capsys):
+        import json
+
+        assert main(
+            ["stats", "--dataset", "MALL", "--steps", "1",
+             "--predictor", "ar", "--format", "json"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = out.split("== metrics ==\n", 1)[1]
+        snapshot = json.loads(payload)
+        assert "smiler_forecasts_total" in snapshot
+
+    def test_stats_validation(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--steps", "0"])
+
+
 class TestDemo:
     def test_demo_runs(self, capsys):
         assert main(["demo", "--dataset", "MALL", "--steps", "3",

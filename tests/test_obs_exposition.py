@@ -1,0 +1,81 @@
+"""Unit tests for metric exposition (repro.obs.exposition)."""
+
+import json
+
+from repro.obs.exposition import to_json, to_prometheus
+from repro.obs.registry import MetricsRegistry
+
+
+def make_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    c = registry.counter(
+        "smiler_requests_total", "Requests served.", label_names=("sensor",)
+    )
+    c.inc(3, sensor="a")
+    c.inc(sensor="b")
+    registry.gauge("smiler_memory_bytes", "Allocated bytes.").set(4096)
+    h = registry.histogram(
+        "smiler_latency_seconds", "Latency.", buckets=(0.1, 1.0)
+    )
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_headers_and_counter_lines(self):
+        text = to_prometheus(make_registry())
+        assert "# HELP smiler_requests_total Requests served." in text
+        assert "# TYPE smiler_requests_total counter" in text
+        assert 'smiler_requests_total{sensor="a"} 3' in text
+        assert 'smiler_requests_total{sensor="b"} 1' in text
+
+    def test_gauge_line(self):
+        text = to_prometheus(make_registry())
+        assert "# TYPE smiler_memory_bytes gauge" in text
+        assert "smiler_memory_bytes 4096" in text
+
+    def test_histogram_buckets_sum_count(self):
+        text = to_prometheus(make_registry())
+        assert 'smiler_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'smiler_latency_seconds_bucket{le="1"} 2' in text
+        assert 'smiler_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "smiler_latency_seconds_sum 5.55" in text
+        assert "smiler_latency_seconds_count 3" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        c = registry.counter("odd_total", label_names=("path",))
+        c.inc(path='say "hi"\nback\\slash')
+        text = to_prometheus(registry)
+        assert r'path="say \"hi\"\nback\\slash"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestJsonSnapshot:
+    def test_structure_and_values(self):
+        snapshot = to_json(make_registry())
+        counter = snapshot["smiler_requests_total"]
+        assert counter["kind"] == "counter"
+        assert counter["label_names"] == ["sensor"]
+        values = {
+            s["labels"]["sensor"]: s["value"] for s in counter["series"]
+        }
+        assert values == {"a": 3, "b": 1}
+
+    def test_histogram_series_detail(self):
+        snapshot = to_json(make_registry())
+        hist = snapshot["smiler_latency_seconds"]
+        assert hist["buckets"] == [0.1, 1.0]
+        (series,) = hist["series"]
+        assert series["count"] == 3
+        assert series["sum"] == 5.55
+        assert series["bucket_counts"] == [1, 2, 3]
+        assert 0.0 < series["p50"] <= 1.0
+
+    def test_snapshot_is_json_serialisable(self):
+        text = json.dumps(to_json(make_registry()))
+        assert "smiler_memory_bytes" in text

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import SMiLerConfig
+from repro.gpu.costmodel import DeviceSpec
+from repro.gpu.device import GpuDevice
 from repro.service import Forecast, PredictionService
 
 CONFIG = SMiLerConfig(
@@ -58,6 +60,27 @@ class TestRegistration:
         with pytest.raises(ValueError):
             PredictionService(CONFIG, min_history=0)
 
+    def test_deregister_frees_device_memory(self):
+        service = make_service()
+        service.register("s1", raw_history())
+        assert service.device.allocated_bytes > 0
+        service.deregister("s1")
+        assert service.device.allocated_bytes == 0
+
+    def test_register_deregister_loop_never_exhausts_device(self):
+        """Regression: deregister used to leak the register() allocation,
+        so churning sensors eventually raised a spurious GpuMemoryError."""
+        probe = make_service()
+        probe.register("s", raw_history())
+        footprint = probe.device.allocated_bytes
+        # Headroom for ~2 sensors: any leak blows up within a few laps.
+        device = GpuDevice(DeviceSpec(memory_bytes=int(2.5 * footprint)))
+        service = make_service(device=device)
+        for _ in range(50):
+            service.register("s", raw_history())
+            service.deregister("s")
+        assert service.device.allocated_bytes == 0
+
 
 class TestServing:
     def test_forecast_on_raw_scale(self):
@@ -88,6 +111,24 @@ class TestServing:
         assert f3.horizon == 3
         with pytest.raises(KeyError):
             service.forecast("s1", horizon=9)
+
+    def test_non_positive_horizon_rejected(self):
+        """Regression: ``horizon or default`` silently remapped 0 to the
+        default horizon instead of rejecting it."""
+        service = make_service()
+        service.register("s1", raw_history())
+        with pytest.raises(ValueError, match="horizon must be positive"):
+            service.forecast("s1", horizon=0)
+        with pytest.raises(ValueError, match="horizon must be positive"):
+            service.forecast("s1", horizon=-3)
+
+    def test_default_horizon_is_smallest_configured(self):
+        service = make_service()
+        service.register("s1", raw_history())
+        assert service.forecast("s1").horizon == min(CONFIG.horizons)
+        assert service.forecast("s1", horizon=None).horizon == min(
+            CONFIG.horizons
+        )
 
     def test_forecast_all(self):
         service = make_service()
