@@ -21,6 +21,7 @@ import logging as _logging
 _logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 from . import (
+    backend,
     baselines,
     core,
     dtw,
@@ -41,6 +42,7 @@ __all__ = [
     "SensorFleet",
     "Forecast",
     "PredictionService",
+    "backend",
     "baselines",
     "core",
     "dtw",

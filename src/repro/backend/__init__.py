@@ -1,0 +1,35 @@
+"""Pluggable compute backends for SMiLer (see ``docs/architecture.md``).
+
+The :class:`ComputeBackend` protocol owns kernel dispatch, device-memory
+accounting and simulated-time attribution; :class:`SimulatedGpuBackend`
+(cost-model faithful, the benchmark default) and :class:`NativeBackend`
+(plain NumPy, the serving fast path) implement it, and
+:class:`BackendPool` shards work across several of either.
+"""
+
+from .base import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    ComputeBackend,
+    GpuMemoryError,
+    as_backend,
+    default_backend,
+    make_backend,
+)
+from .native import NativeBackend
+from .pool import BackendPool, Placement
+from .simulated import SimulatedGpuBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "BackendPool",
+    "ComputeBackend",
+    "GpuMemoryError",
+    "NativeBackend",
+    "Placement",
+    "SimulatedGpuBackend",
+    "as_backend",
+    "default_backend",
+    "make_backend",
+]

@@ -1,0 +1,180 @@
+"""The :class:`ComputeBackend` protocol — SMiLer's pluggable compute layer.
+
+Every layer above the kernels (index construction, Suffix kNN Search,
+the SMiLer facade, the serving layer) talks to *one* interface that owns
+the three concerns a compute substrate has:
+
+* **kernel dispatch** — banded/unbanded DTW verification and device
+  k-selection (the filter → verify → select pipeline's numeric work),
+* **device-memory accounting** — a malloc/free ledger so a serving pool
+  can place sensors by free space and refuse admission when full,
+* **time attribution** — an ``elapsed_s`` ledger of simulated kernel
+  seconds (zero for backends that do not model time).
+
+Two implementations ship:
+
+* :class:`repro.backend.SimulatedGpuBackend` — wraps the simulated
+  :class:`~repro.gpu.device.GpuDevice` and its cost model; the default,
+  and the only backend the paper-figure harness should use (its entire
+  point is the simulated-time ledger).
+* :class:`repro.backend.NativeBackend` — straight vectorised NumPy with
+  no cost-model bookkeeping; the serving fast path.
+
+To add a backend (CuPy, torch, a remote worker pool), implement this
+protocol — numerical contracts are documented per method — and register
+a name in :func:`make_backend`.  Nothing above this module constructs a
+``GpuDevice`` directly, so no other layer needs to change.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..gpu.device import Allocation, GpuDevice, GpuMemoryError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Iterable
+
+__all__ = [
+    "Allocation",
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
+    "ComputeBackend",
+    "GpuMemoryError",
+    "as_backend",
+    "default_backend",
+    "make_backend",
+]
+
+#: Environment variable selecting the default backend (``simulated`` when
+#: unset).  CI runs the tier-1 suite under both values.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+@runtime_checkable
+class ComputeBackend(Protocol):
+    """What the index/core/serving layers require of a compute substrate.
+
+    Numerical contract: for identical inputs every backend must return
+    *identical* answers — ``dtw_verification``/``full_dtw`` produce the
+    same float64 distances and ``k_select`` resolves ties by lowest
+    index — so that kNN answer sets and downstream forecasts are
+    bit-identical across backends (pinned by the parity tests).
+    """
+
+    #: Short backend identifier (``"simulated"``, ``"native"``, ...).
+    name: str
+
+    # ------------------------------------------------------------- kernels
+    def dtw_verification(
+        self, query: np.ndarray, candidates: np.ndarray, rho: int
+    ) -> np.ndarray:
+        """Banded (Sakoe-Chiba ``rho``) DTW of one query vs many candidates."""
+        ...
+
+    def full_dtw(self, query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+        """Unbanded DTW of one query vs many candidates (GPUScan baseline)."""
+        ...
+
+    def k_select(self, values: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the k smallest values, sorted ascending, ties by index."""
+        ...
+
+    def launch(
+        self,
+        name: str,
+        n_blocks: int,
+        ops_per_thread: float,
+        threads_per_block: int = 256,
+    ) -> float:
+        """Attribute one abstract kernel launch; returns simulated seconds.
+
+        Backends that do not model time return 0.0 and may ignore the
+        arguments entirely.
+        """
+        ...
+
+    # ---------------------------------------------------------------- time
+    @property
+    def elapsed_s(self) -> float:
+        """Simulated kernel seconds since the last reset (0.0 if unmodelled)."""
+        ...
+
+    def reset_time(self) -> None:
+        """Zero the simulated-time ledger."""
+        ...
+
+    # -------------------------------------------------------------- memory
+    def malloc(self, nbytes: int, label: str = "buffer") -> Allocation:
+        """Reserve device memory; raises :class:`GpuMemoryError` when full."""
+        ...
+
+    def free(self, handle: Allocation) -> None:
+        """Release a previous allocation."""
+        ...
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes currently allocated on this backend."""
+        ...
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available (drives greedy pool placement)."""
+        ...
+
+
+#: Registered backend names accepted by :func:`make_backend` and the CLI.
+BACKEND_NAMES = ("simulated", "native")
+
+
+def make_backend(name: str, **kwargs) -> "ComputeBackend":
+    """Construct a backend by registered name.
+
+    ``kwargs`` are forwarded to the backend constructor (e.g. ``spec=``
+    for the simulated backend, ``capacity_bytes=`` for the native one).
+    """
+    from .native import NativeBackend
+    from .simulated import SimulatedGpuBackend
+
+    if name == "simulated":
+        return SimulatedGpuBackend(**kwargs)
+    if name == "native":
+        return NativeBackend(**kwargs)
+    raise ValueError(
+        f"unknown backend {name!r}; available: {', '.join(BACKEND_NAMES)}"
+    )
+
+
+def default_backend() -> "ComputeBackend":
+    """A fresh backend of the process-default kind.
+
+    The kind is ``simulated`` unless the ``REPRO_BACKEND`` environment
+    variable names another registered backend.
+    """
+    return make_backend(os.environ.get(BACKEND_ENV_VAR, "simulated"))
+
+
+def as_backend(obj: object = None) -> "ComputeBackend":
+    """Coerce ``obj`` to a :class:`ComputeBackend`.
+
+    ``None`` yields a fresh :func:`default_backend`; a raw
+    :class:`~repro.gpu.device.GpuDevice` is wrapped in a
+    :class:`~repro.backend.SimulatedGpuBackend` *sharing* that device's
+    ledgers (existing references keep observing time/memory); a backend
+    passes through unchanged.
+    """
+    if obj is None:
+        return default_backend()
+    if isinstance(obj, GpuDevice):
+        from .simulated import SimulatedGpuBackend
+
+        return SimulatedGpuBackend(device=obj)
+    if isinstance(obj, ComputeBackend):
+        return obj
+    raise TypeError(
+        f"expected a ComputeBackend, GpuDevice or None, got {type(obj).__name__}"
+    )

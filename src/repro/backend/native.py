@@ -1,0 +1,138 @@
+"""The native backend: vectorised NumPy with zero cost-model overhead.
+
+The serving fast path.  Numerical behaviour is *identical* to the
+simulated backend (same ``dtw_batch`` kernels, same tie-breaking in
+k-selection), but no simulated time is attributed and no abstract-op
+arithmetic runs — ``launch`` is a constant-time no-op.  Memory is a
+host-side ledger with an optional capacity so a pool of native workers
+can still shard sensors by free space and refuse admission.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dtw.distance import dtw_batch
+from ..gpu.device import Allocation, GpuMemoryError
+
+__all__ = ["NativeBackend"]
+
+#: Ledger bound when no capacity is configured — effectively unlimited,
+#: but finite so ``free_bytes`` stays an ``int`` and greedy placement
+#: (max free == min allocated for equal capacities) still balances.
+_UNBOUNDED_BYTES = 1 << 62
+
+
+class NativeBackend:
+    """Straight NumPy compute: no cost model, optional memory bound."""
+
+    name = "native"
+
+    def __init__(self, capacity_bytes: int | None = None) -> None:
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError(
+                f"capacity_bytes must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._allocated = 0
+        self._serial = 0
+        self._live: dict[int, Allocation] = {}
+
+    # ------------------------------------------------------------- kernels
+    def dtw_verification(
+        self, query: np.ndarray, candidates: np.ndarray, rho: int
+    ) -> np.ndarray:
+        """Banded DTW of one query against many candidates."""
+        candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+        if candidates.shape[0] == 0:
+            return np.empty(0)
+        return dtw_batch(query, candidates, rho)
+
+    def full_dtw(self, query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+        """Unbanded DTW of one query against many candidates."""
+        candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+        if candidates.shape[0] == 0:
+            return np.empty(0)
+        return dtw_batch(query, candidates, rho=None)
+
+    def k_select(self, values: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the k smallest values (stable: ties by lowest index).
+
+        Matches the simulated kernel's answer exactly — equal values land
+        in the same partition bucket there, so both resolve ties by index
+        and order the answer ascending by value.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError("k_select expects a 1-D array")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if values.size == 0:
+            raise ValueError("cannot select from an empty array")
+        k = min(k, values.size)
+        return np.argsort(values, kind="stable")[:k]
+
+    def launch(
+        self,
+        name: str,
+        n_blocks: int,
+        ops_per_thread: float,
+        threads_per_block: int = 256,
+    ) -> float:
+        """No time model: every launch is free."""
+        return 0.0
+
+    # ---------------------------------------------------------------- time
+    @property
+    def elapsed_s(self) -> float:
+        """Always 0.0 — the native backend does not model time."""
+        return 0.0
+
+    def reset_time(self) -> None:
+        """Nothing to reset."""
+
+    # -------------------------------------------------------------- memory
+    @property
+    def _capacity(self) -> int:
+        return (
+            self.capacity_bytes
+            if self.capacity_bytes is not None
+            else _UNBOUNDED_BYTES
+        )
+
+    def malloc(self, nbytes: int, label: str = "buffer") -> Allocation:
+        """Reserve ledger bytes; raises :class:`GpuMemoryError` when full."""
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError(f"allocation size must be non-negative, got {nbytes}")
+        if self._allocated + nbytes > self._capacity:
+            raise GpuMemoryError(
+                f"cannot allocate {nbytes} bytes for {label!r}: "
+                f"{self._allocated} of {self._capacity} bytes in use"
+            )
+        self._serial += 1
+        handle = Allocation(label=label, nbytes=nbytes, serial=self._serial)
+        self._live[handle.serial] = handle
+        self._allocated += nbytes
+        return handle
+
+    def free(self, handle: Allocation) -> None:
+        """Release a previous allocation (double frees are errors)."""
+        if handle.serial not in self._live:
+            raise KeyError(f"allocation {handle} is not live")
+        del self._live[handle.serial]
+        self._allocated -= handle.nbytes
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes currently recorded in the ledger."""
+        return self._allocated
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity (a very large number when unbounded)."""
+        return self._capacity - self._allocated
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        bound = self.capacity_bytes if self.capacity_bytes else "unbounded"
+        return f"NativeBackend(allocated={self._allocated}, capacity={bound})"

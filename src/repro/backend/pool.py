@@ -1,0 +1,109 @@
+"""Backend pools: the one placement/allocation component of the system.
+
+Section 6.4.1's scale-out option 1 (shard sensors over multiple GPUs)
+generalised to any :class:`~repro.backend.base.ComputeBackend`:
+:meth:`BackendPool.allocate` places each reservation on the backend with
+the most free memory (greedy balancing, ties to the lowest index) and
+raises :class:`~repro.gpu.device.GpuMemoryError` only when the whole
+pool is exhausted.  The serving layer routes *every* admission —
+``register``, ``restore``, fleet construction — through this method, so
+placement policy lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..gpu.device import Allocation, GpuMemoryError
+from .base import ComputeBackend, as_backend
+
+__all__ = ["BackendPool", "Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One reservation: which backend, and the allocation handle on it."""
+
+    backend_index: int
+    allocation: Allocation
+
+
+class BackendPool:
+    """A fixed set of backends sharing one greedy placement policy."""
+
+    def __init__(self, backends: Iterable[object]) -> None:
+        self.backends: list[ComputeBackend] = [as_backend(b) for b in backends]
+        if not self.backends:
+            raise ValueError("a pool needs at least one backend")
+
+    def __len__(self) -> int:
+        return len(self.backends)
+
+    def backend(self, placement: Placement) -> ComputeBackend:
+        """The backend a placement lives on."""
+        return self.backends[placement.backend_index]
+
+    # ----------------------------------------------------------- placement
+    def allocate(self, nbytes: int, label: str) -> Placement:
+        """Reserve ``nbytes`` on the backend with the most free memory.
+
+        Backends are tried in free-memory order (stable, so equally-free
+        backends fill lowest-index first); exhausting them all raises
+        :class:`GpuMemoryError`.
+        """
+        order = sorted(
+            range(len(self.backends)),
+            key=lambda i: self.backends[i].free_bytes,
+            reverse=True,
+        )
+        last_error: GpuMemoryError | None = None
+        for index in order:
+            try:
+                allocation = self.backends[index].malloc(nbytes, label)
+            except GpuMemoryError as error:
+                last_error = error
+                continue
+            return Placement(backend_index=index, allocation=allocation)
+        raise GpuMemoryError(
+            f"no backend in the pool can host {label!r}: {last_error}"
+        )
+
+    def resize(self, placement: Placement, nbytes: int) -> Placement:
+        """Replace a reservation with one of a different size, same backend.
+
+        On failure the original reservation is left untouched (the fit is
+        checked before the old handle is released, so the caller's
+        placement never goes stale).
+        """
+        backend = self.backend(placement)
+        old = placement.allocation
+        growth = nbytes - old.nbytes
+        if growth > backend.free_bytes:
+            raise GpuMemoryError(
+                f"cannot grow {old.label!r} by {growth} bytes: only "
+                f"{backend.free_bytes} free on its backend"
+            )
+        backend.free(old)
+        allocation = backend.malloc(nbytes, old.label)
+        return Placement(placement.backend_index, allocation)
+
+    def release(self, placement: Placement) -> None:
+        """Free a previous reservation."""
+        self.backend(placement).free(placement.allocation)
+
+    # ---------------------------------------------------------- aggregates
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes reserved across the whole pool."""
+        return sum(b.allocated_bytes for b in self.backends)
+
+    @property
+    def elapsed_s(self) -> float:
+        """Fleet time: backends run in parallel, so the busiest one wins."""
+        return max(b.elapsed_s for b in self.backends)
+
+    def reset_time(self) -> None:
+        """Zero every backend's simulated-time ledger."""
+        for backend in self.backends:
+            backend.reset_time()

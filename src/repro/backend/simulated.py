@@ -1,0 +1,99 @@
+"""The simulated-GPU backend: cost-model time + bounded device memory.
+
+Wraps the existing :class:`~repro.gpu.device.GpuDevice` (vectorised
+NumPy numerics + :class:`~repro.gpu.costmodel.GpuCostModel` time
+accounting + the 6 GB malloc ledger of the paper's GTX TITAN) behind the
+:class:`~repro.backend.base.ComputeBackend` protocol.  This is the
+default backend and the one every paper figure/table runs on — the
+simulated-seconds ledger *is* the measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpu.costmodel import DeviceSpec, GpuCostModel
+from ..gpu.device import Allocation, GpuDevice
+from ..gpu.kernels import dtw_verification_kernel, full_dtw_kernel, k_select_kernel
+
+__all__ = ["SimulatedGpuBackend"]
+
+
+class SimulatedGpuBackend:
+    """Kernel dispatch, memory and simulated time on one ``GpuDevice``."""
+
+    name = "simulated"
+
+    def __init__(
+        self, device: GpuDevice | None = None, spec: DeviceSpec | None = None
+    ) -> None:
+        if device is not None and spec is not None:
+            raise ValueError("pass either a device or a spec, not both")
+        self.device = device if device is not None else GpuDevice(spec)
+
+    # ------------------------------------------------------------- kernels
+    def dtw_verification(
+        self, query: np.ndarray, candidates: np.ndarray, rho: int
+    ) -> np.ndarray:
+        """Banded DTW via the compressed-warping-matrix kernel."""
+        return dtw_verification_kernel(self.device, query, candidates, rho)
+
+    def full_dtw(self, query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+        """Unbanded DTW paying the global-memory penalty (GPUScan)."""
+        return full_dtw_kernel(self.device, query, candidates)
+
+    def k_select(self, values: np.ndarray, k: int) -> np.ndarray:
+        """Device k-selection by distributive partitioning."""
+        return k_select_kernel(self.device, values, k)
+
+    def launch(
+        self,
+        name: str,
+        n_blocks: int,
+        ops_per_thread: float,
+        threads_per_block: int = 256,
+    ) -> float:
+        """Account one kernel launch on the cost model."""
+        return self.device.launch(name, n_blocks, ops_per_thread, threads_per_block)
+
+    # ---------------------------------------------------------------- time
+    @property
+    def elapsed_s(self) -> float:
+        """Total simulated kernel seconds since the last reset."""
+        return self.device.elapsed_s
+
+    def reset_time(self) -> None:
+        """Zero the simulated-time ledger."""
+        self.device.reset_time()
+
+    @property
+    def cost(self) -> GpuCostModel:
+        """The underlying cost model (per-kernel attribution lives here)."""
+        return self.device.cost
+
+    @property
+    def spec(self) -> DeviceSpec:
+        """The simulated device's published specification."""
+        return self.device.spec
+
+    # -------------------------------------------------------------- memory
+    def malloc(self, nbytes: int, label: str = "buffer") -> Allocation:
+        """Reserve device global memory (bounded by the spec's capacity)."""
+        return self.device.malloc(nbytes, label)
+
+    def free(self, handle: Allocation) -> None:
+        """Release a previous allocation."""
+        self.device.free(handle)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes currently allocated on the device."""
+        return self.device.allocated_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available on the device."""
+        return self.device.free_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimulatedGpuBackend({self.device!r})"

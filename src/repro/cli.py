@@ -27,6 +27,7 @@ import pathlib
 import sys
 
 from . import harness, obs
+from .backend import BACKEND_NAMES, make_backend
 from .core import SMiLer, SMiLerConfig
 from .harness import AccuracyScale, SearchScale
 from .service import PredictionService
@@ -116,6 +117,11 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--predictor", choices=("gp", "ar"), default="gp",
     )
+    demo.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="simulated",
+        help="compute backend: 'simulated' keeps the paper's cost-model "
+        "accounting, 'native' is the plain-NumPy fast path",
+    )
 
     stats = sub.add_parser(
         "stats", help="short instrumented serving loop: trace + metrics"
@@ -128,6 +134,10 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--format", choices=("prom", "json"), default="prom",
         help="metrics output format (default: prom)",
+    )
+    stats.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="simulated",
+        help="compute backend serving the loop (default: simulated)",
     )
     return parser
 
@@ -159,16 +169,20 @@ def _run_experiment(
     return result.render() if hasattr(result, "render") else result
 
 
-def _run_demo(dataset: str, steps: int, predictor: str) -> str:
+def _run_demo(dataset: str, steps: int, predictor: str, backend: str) -> str:
     if steps <= 0:
         raise SystemExit("--steps must be positive")
     ds = make_dataset(
         dataset, n_sensors=1, n_points=3000, test_points=max(steps, 8)
     )
     history, tail = ds.sensor(0)
-    smiler = SMiLer(history.values, SMiLerConfig(predictor=predictor))
-    lines = [f"{dataset.upper()} sensor, SMiLer-{predictor.upper()}, "
-             f"{steps} continuous steps", "step  prediction   truth"]
+    smiler = SMiLer(
+        history.values, SMiLerConfig(predictor=predictor),
+        backend=make_backend(backend),
+    )
+    lines = [f"{dataset.upper()} sensor, SMiLer-{predictor.upper()} "
+             f"({backend} backend), {steps} continuous steps",
+             "step  prediction   truth"]
     for step in range(steps):
         output = smiler.predict()[1]
         truth = float(tail[step])
@@ -177,7 +191,9 @@ def _run_demo(dataset: str, steps: int, predictor: str) -> str:
     return "\n".join(lines)
 
 
-def _run_stats(dataset: str, steps: int, predictor: str, fmt: str) -> str:
+def _run_stats(
+    dataset: str, steps: int, predictor: str, fmt: str, backend: str
+) -> str:
     """A short instrumented serving loop: last-request trace + metrics."""
     if steps <= 0:
         raise SystemExit("--steps must be positive")
@@ -191,6 +207,7 @@ def _run_stats(dataset: str, steps: int, predictor: str, fmt: str) -> str:
     try:
         service = PredictionService(
             config=SMiLerConfig(predictor=predictor),
+            backends=make_backend(backend),
             min_history=min(256, history.values.size),
         )
         service.register("demo-sensor", history.values)
@@ -246,10 +263,13 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
     if args.command == "demo":
-        print(_run_demo(args.dataset, args.steps, args.predictor))
+        print(_run_demo(args.dataset, args.steps, args.predictor, args.backend))
         return 0
     if args.command == "stats":
-        print(_run_stats(args.dataset, args.steps, args.predictor, args.format))
+        print(_run_stats(
+            args.dataset, args.steps, args.predictor, args.format,
+            args.backend,
+        ))
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

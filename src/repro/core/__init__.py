@@ -4,7 +4,13 @@ from .ar import AggregationPredictor
 from .config import SMiLerConfig
 from .ensemble import AdaptiveEnsemble, Cell, CellState, EnsembleOutput
 from .gp_predictor import GaussianProcessPredictor
-from .persistence import load_smiler, save_smiler
+from .persistence import (
+    SmilerSnapshot,
+    build_smiler,
+    load_smiler,
+    load_snapshot,
+    save_smiler,
+)
 from .predictor import GaussianPrediction, SemiLazyPredictor
 from .scaleout import MultiGpuFleet, truncate_history
 from .smiler import SensorFleet, SMiLer
@@ -18,7 +24,10 @@ __all__ = [
     "EnsembleOutput",
     "GaussianProcessPredictor",
     "GaussianPrediction",
+    "SmilerSnapshot",
+    "build_smiler",
     "load_smiler",
+    "load_snapshot",
     "save_smiler",
     "MultiGpuFleet",
     "truncate_history",

@@ -17,16 +17,42 @@ from __future__ import annotations
 
 import json
 import pathlib
+from dataclasses import dataclass
 
 import numpy as np
 
+from ..backend.base import ComputeBackend
 from .config import SMiLerConfig
 from .gp_predictor import GaussianProcessPredictor
 from .smiler import SMiLer
 
-__all__ = ["save_smiler", "load_smiler"]
+__all__ = [
+    "SmilerSnapshot",
+    "save_smiler",
+    "load_snapshot",
+    "build_smiler",
+    "load_smiler",
+]
 
 _FORMAT_VERSION = 1
+
+
+@dataclass
+class SmilerSnapshot:
+    """Parsed archive contents, not yet bound to any backend.
+
+    Splitting parsing from construction lets admission control *estimate*
+    the sensor's memory (``SMiLer.estimate_memory_bytes(snapshot.series.size,
+    snapshot.config)``) and pick a backend before paying for the index
+    build — one build per sensor, on the chosen backend.
+    """
+
+    sensor_id: str
+    config: SMiLerConfig
+    series: np.ndarray
+    ensemble_state: dict[str, dict]
+    gp_params: dict[str, np.ndarray]
+    path: pathlib.Path
 
 
 def _cell_key(horizon: int, cell: tuple[int, int]) -> str:
@@ -82,8 +108,8 @@ def save_smiler(smiler: SMiLer, path) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def load_smiler(path, device=None) -> SMiLer:
-    """Restore a SMiLer instance saved by :func:`save_smiler`."""
+def load_snapshot(path) -> SmilerSnapshot:
+    """Parse an archive written by :func:`save_smiler` — no index build."""
     path = pathlib.Path(path)
     with np.load(path) as archive:
         meta = json.loads(bytes(archive["meta_json"].tobytes()).decode("utf-8"))
@@ -114,14 +140,29 @@ def load_smiler(path, device=None) -> SMiLer:
         single_k=cfg["single_k"],
         single_d=cfg["single_d"],
     )
+    return SmilerSnapshot(
+        sensor_id=meta["sensor_id"],
+        config=config,
+        series=series,
+        ensemble_state=meta["ensemble_state"],
+        gp_params=gp_params,
+        path=path,
+    )
+
+
+def build_smiler(
+    snapshot: SmilerSnapshot, backend: ComputeBackend | None = None
+) -> SMiLer:
+    """Rebuild a SMiLer from a parsed snapshot on the given backend."""
+    config = snapshot.config
     smiler = SMiLer(
-        series, config, device=device, sensor_id=meta["sensor_id"]
+        snapshot.series, config, backend=backend, sensor_id=snapshot.sensor_id
     )
     for horizon in config.horizons:
         ensemble = smiler.ensemble(horizon)
         for cell in ensemble.cells:
             key = _cell_key(horizon, cell)
-            saved = meta["ensemble_state"].get(key)
+            saved = snapshot.ensemble_state.get(key)
             if saved is None:
                 continue
             state = ensemble.state(cell)
@@ -130,8 +171,13 @@ def load_smiler(path, device=None) -> SMiLer:
             state.sleep_span = int(saved["sleep_span"])
             state.sleep_remaining = int(saved["sleep_remaining"])
             state.just_recovered = bool(saved["just_recovered"])
-            if key in gp_params and isinstance(
+            if key in snapshot.gp_params and isinstance(
                 state.predictor, GaussianProcessPredictor
             ):
-                state.predictor._log_params = gp_params[key]
+                state.predictor._log_params = snapshot.gp_params[key]
     return smiler
+
+
+def load_smiler(path, backend: ComputeBackend | None = None) -> SMiLer:
+    """Restore a SMiLer instance saved by :func:`save_smiler`."""
+    return build_smiler(load_snapshot(path), backend=backend)

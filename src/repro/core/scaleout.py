@@ -5,7 +5,9 @@ The paper names two ways to host more sensors than one 6 GB card fits:
 1. **multiple GPUs** — :class:`MultiGpuFleet` shards sensors across a
    pool of simulated devices, placing each sensor on the device with the
    most free memory (greedy balancing) and raising only when the whole
-   pool is exhausted;
+   pool is exhausted.  The class is now a thin compatibility shim over
+   :class:`repro.service.PredictionService`, which owns the one
+   placement/allocation path for the whole system;
 2. **less history per sensor** — trading accuracy for space.  SMiLer
    accepts a truncated history directly; :func:`truncate_history`
    implements the policy (keep the most recent fraction) and the
@@ -16,8 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend.simulated import SimulatedGpuBackend
 from ..gpu.costmodel import DeviceSpec
-from ..gpu.device import GpuDevice, GpuMemoryError
 from .config import SMiLerConfig
 from .smiler import SMiLer
 
@@ -40,7 +42,15 @@ def truncate_history(values: np.ndarray, fraction: float) -> np.ndarray:
 
 
 class MultiGpuFleet:
-    """Sensors sharded over several simulated GPUs."""
+    """Sensors sharded over several simulated GPUs.
+
+    A compatibility shim: all placement and bookkeeping is delegated to
+    :class:`repro.service.PredictionService` running un-normalised
+    (fleet callers feed z-scored values themselves), so the greedy
+    balancing, per-device counts and busiest-device fleet time behave
+    exactly as before — now with estimate-first placement, i.e. each
+    sensor's index is built once, on the device that hosts it.
+    """
 
     def __init__(
         self,
@@ -49,44 +59,51 @@ class MultiGpuFleet:
         n_devices: int = 2,
         spec: DeviceSpec | None = None,
     ) -> None:
+        # Imported here: repro.service imports this package (repro.core).
+        from ..service import PredictionService
+
         if not histories:
             raise ValueError("a fleet needs at least one sensor")
         if n_devices <= 0:
             raise ValueError(f"n_devices must be positive, got {n_devices}")
         self.config = config or SMiLerConfig()
-        self.devices = [GpuDevice(spec or DeviceSpec()) for _ in range(n_devices)]
-        self.sensors: list[SMiLer] = []
-        self.placement: list[int] = []
-        for i, history in enumerate(histories):
-            self._place(np.asarray(history, dtype=np.float64), f"sensor-{i}")
-
-    def _place(self, history: np.ndarray, sensor_id: str) -> None:
-        """Greedy balancing: try devices in free-memory order."""
-        order = sorted(
-            range(len(self.devices)),
-            key=lambda d: self.devices[d].free_bytes,
-            reverse=True,
+        self._service = PredictionService(
+            self.config,
+            backends=[
+                SimulatedGpuBackend(spec=spec or DeviceSpec())
+                for _ in range(n_devices)
+            ],
+            min_history=1,
+            normalize=False,
         )
-        last_error: GpuMemoryError | None = None
-        for device_index in order:
-            device = self.devices[device_index]
-            sensor = SMiLer(
-                history, self.config, device=device, sensor_id=sensor_id
+        self._order = [f"sensor-{i}" for i in range(len(histories))]
+        for sensor_id, history in zip(self._order, histories):
+            self._service.register(
+                sensor_id, np.asarray(history, dtype=np.float64)
             )
-            try:
-                device.malloc(sensor.memory_bytes(), label=sensor_id)
-            except GpuMemoryError as error:
-                last_error = error
-                continue
-            self.sensors.append(sensor)
-            self.placement.append(device_index)
-            return
-        raise GpuMemoryError(
-            f"no device in the pool can host {sensor_id}: {last_error}"
-        )
+
+    @property
+    def service(self) -> "object":
+        """The PredictionService doing the actual work."""
+        return self._service
+
+    @property
+    def devices(self) -> list[SimulatedGpuBackend]:
+        """The pool's backends, in placement order."""
+        return self._service.backends
+
+    @property
+    def sensors(self) -> list[SMiLer]:
+        """SMiLer instances in registration order."""
+        return [self._service.sensor(sid) for sid in self._order]
+
+    @property
+    def placement(self) -> list[int]:
+        """Device index hosting each sensor, in registration order."""
+        return [self._service.placement_of(sid) for sid in self._order]
 
     def __len__(self) -> int:
-        return len(self.sensors)
+        return len(self._order)
 
     def predict_all(self, horizon: int | None = None):
         """Predictions for every sensor in the fleet."""
@@ -95,19 +112,17 @@ class MultiGpuFleet:
     def observe_all(self, values) -> None:
         """Feed each sensor its newly revealed true value."""
         values = np.asarray(values, dtype=np.float64).ravel()
-        if values.size != len(self.sensors):
+        if values.size != len(self._order):
             raise ValueError(
-                f"{values.size} values for {len(self.sensors)} sensors"
+                f"{values.size} values for {len(self._order)} sensors"
             )
-        for sensor, value in zip(self.sensors, values):
-            sensor.observe(float(value))
+        self._service.ingest_many(
+            {sid: float(v) for sid, v in zip(self._order, values)}
+        )
 
     def sensors_per_device(self) -> list[int]:
         """Sensor count hosted on each device."""
-        counts = [0] * len(self.devices)
-        for device_index in self.placement:
-            counts[device_index] += 1
-        return counts
+        return self._service.sensors_per_backend()
 
     def total_elapsed_s(self) -> float:
         """Simulated device time: the pool runs in parallel, so the fleet

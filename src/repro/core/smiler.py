@@ -24,8 +24,9 @@ from dataclasses import dataclass, field
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from ..gpu.device import GpuDevice
+from ..backend.base import ComputeBackend, as_backend
 from ..index.suffix_search import SuffixKnnAnswer, SuffixKnnEngine, SuffixSearchConfig
+from ..index.window_index import WindowLevelIndex
 from ..obs import hooks as obs
 from .ar import AggregationPredictor
 from .config import SMiLerConfig
@@ -62,12 +63,12 @@ class SMiLer:
         self,
         history: np.ndarray,
         config: SMiLerConfig | None = None,
-        device: GpuDevice | None = None,
+        backend: ComputeBackend | None = None,
         sensor_id: str = "sensor-0",
     ) -> None:
         self.config = config or SMiLerConfig()
         self.sensor_id = sensor_id
-        self.device = device or GpuDevice()
+        self.backend = as_backend(backend)
         history = np.asarray(history, dtype=np.float64)
 
         search_config = SuffixSearchConfig(
@@ -77,7 +78,7 @@ class SMiLer:
             rho=self.config.rho,
             margin=self.config.margin,
         )
-        self.engine = SuffixKnnEngine(history, search_config, device=self.device)
+        self.engine = SuffixKnnEngine(history, search_config, backend=self.backend)
 
         self._ensembles: dict[int, AdaptiveEnsemble] = {
             h: AdaptiveEnsemble(
@@ -97,6 +98,11 @@ class SMiLer:
         self._answers_at = -1
 
     # ---------------------------------------------------------------- state
+    @property
+    def device(self) -> ComputeBackend:
+        """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
+        return self.backend
+
     @property
     def now(self) -> int:
         """Index of the next unobserved point of this sensor's stream."""
@@ -148,7 +154,7 @@ class SMiLer:
                 f"horizons {unknown} not configured; available: "
                 f"{self.config.horizons}"
             )
-        with obs.span("predict", self.device) as sp:
+        with obs.span("predict", self.backend) as sp:
             if sp is not None:
                 sp.attrs["sensor_id"] = self.sensor_id
             answers = self._current_answers()
@@ -156,7 +162,7 @@ class SMiLer:
             for h in horizons:
                 ensemble = self._ensembles[h]
                 inputs = self._cell_inputs(answers, h, ensemble.awake_cells())
-                with obs.span("ensemble_mix", self.device) as esp:
+                with obs.span("ensemble_mix", self.backend) as esp:
                     if esp is not None:
                         esp.attrs["horizon"] = h
                     output = ensemble.predict(inputs)
@@ -196,6 +202,19 @@ class SMiLer:
         """Device-resident footprint of this sensor's index."""
         return self.engine.window_index.memory_bytes()
 
+    @staticmethod
+    def estimate_memory_bytes(
+        n_points: int, config: SMiLerConfig | None = None
+    ) -> int:
+        """Footprint of a sensor with ``n_points`` of history, *without*
+        building it — what admission control uses to pick a backend before
+        paying for index construction.  Exact for a freshly built sensor.
+        """
+        config = config or SMiLerConfig()
+        return WindowLevelIndex.estimate_memory_bytes(
+            n_points, max(config.effective_elv()), config.omega
+        )
+
     # --------------------------------------------------------- diagnostics
     def diagnostics(self) -> dict:
         """Operational snapshot: weights, sleepers, reuse and cost counters.
@@ -220,7 +239,7 @@ class SMiLer:
             "now": self._now,
             "series_length": wi.series_length,
             "memory_bytes": self.memory_bytes(),
-            "device_sim_seconds": self.device.elapsed_s,
+            "device_sim_seconds": self.backend.elapsed_s,
             "index_reuse": {
                 "rows_built_full": wi.rows_built_full,
                 "rows_recomputed_lbeq": wi.rows_recomputed_lbeq,
@@ -242,20 +261,25 @@ class SensorFleet:
         self,
         histories: list[np.ndarray],
         config: SMiLerConfig | None = None,
-        device: GpuDevice | None = None,
+        backend: ComputeBackend | None = None,
     ) -> None:
         if not histories:
             raise ValueError("a fleet needs at least one sensor")
         self.config = config or SMiLerConfig()
-        self.device = device or GpuDevice()
+        self.backend = as_backend(backend)
         self.sensors: list[SMiLer] = []
         for i, history in enumerate(histories):
             sensor = SMiLer(
-                history, self.config, device=self.device,
+                history, self.config, backend=self.backend,
                 sensor_id=f"sensor-{i}",
             )
-            self.device.malloc(sensor.memory_bytes(), label=sensor.sensor_id)
+            self.backend.malloc(sensor.memory_bytes(), label=sensor.sensor_id)
             self.sensors.append(sensor)
+
+    @property
+    def device(self) -> ComputeBackend:
+        """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
+        return self.backend
 
     def __len__(self) -> int:
         return len(self.sensors)

@@ -72,11 +72,15 @@ def knn_bruteforce(
     k: int,
     rho: int | None,
     exclude: tuple[int, int] | None = None,
+    backend=None,
 ) -> KnnResult:
     """Exact kNN by computing banded DTW on every candidate segment.
 
     ``exclude`` removes self-matching segments overlapping ``[lo, hi)``
     (standard practice when the query is a suffix of the series itself).
+    When ``backend`` is given, the DTW batch is dispatched through it so
+    its time/ops ledgers see the work; otherwise the distances are
+    computed directly (pure ground truth, no accounting).
     """
     query = np.asarray(query, dtype=np.float64)
     series = np.asarray(series, dtype=np.float64)
@@ -86,7 +90,18 @@ def knn_bruteforce(
         raise ValueError("no candidate segments to search")
     k = min(k, starts.size)
     segments = sliding_window_view(series, d)[starts]
-    distances = dtw_batch(query, segments, rho)
+    if backend is not None:
+        # Lazy import: ``repro.backend`` itself imports this module's
+        # siblings, so a top-level import would be circular.
+        from ..backend.base import as_backend
+
+        dispatch = as_backend(backend)
+        if rho is None:
+            distances = dispatch.full_dtw(query, segments)
+        else:
+            distances = dispatch.dtw_verification(query, segments, rho)
+    else:
+        distances = dtw_batch(query, segments, rho)
     order = np.argsort(distances, kind="stable")[:k]
     band = d if rho is None else min(rho, d)
     stats = ScanStats(

@@ -17,10 +17,16 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from ..dtw.knn import KnnResult, ScanStats
-from .device import GpuDevice
-from .kernels import dtw_verification_kernel, full_dtw_kernel, k_select_kernel
 
 __all__ = ["gpu_scan", "fast_gpu_scan"]
+
+
+def _coerce(backend):
+    # Imported lazily: ``repro.backend`` imports ``gpu.device``, which
+    # triggers ``gpu/__init__`` (and therefore this module) first.
+    from ..backend.base import as_backend
+
+    return as_backend(backend)
 
 
 def _segments_and_starts(
@@ -42,17 +48,18 @@ def _segments_and_starts(
 
 
 def gpu_scan(
-    device: GpuDevice,
+    backend,
     query,
     series,
     k: int,
     exclude: tuple[int, int] | None = None,
 ) -> KnnResult:
     """GPUScan: unbanded DTW on all segments, then device k-selection."""
+    backend = _coerce(backend)
     query = np.asarray(query, dtype=np.float64)
     segments, starts = _segments_and_starts(series, query.size, exclude)
-    distances = full_dtw_kernel(device, query, segments)
-    top = k_select_kernel(device, distances, min(k, starts.size))
+    distances = backend.full_dtw(query, segments)
+    top = backend.k_select(distances, min(k, starts.size))
     stats = ScanStats(
         dtw_cells=int(starts.size * query.size**2),
         candidates_total=int(starts.size),
@@ -62,7 +69,7 @@ def gpu_scan(
 
 
 def fast_gpu_scan(
-    device: GpuDevice,
+    backend,
     query,
     series,
     k: int,
@@ -70,10 +77,11 @@ def fast_gpu_scan(
     exclude: tuple[int, int] | None = None,
 ) -> KnnResult:
     """FastGPUScan: banded DTW on all segments, then device k-selection."""
+    backend = _coerce(backend)
     query = np.asarray(query, dtype=np.float64)
     segments, starts = _segments_and_starts(series, query.size, exclude)
-    distances = dtw_verification_kernel(device, query, segments, rho)
-    top = k_select_kernel(device, distances, min(k, starts.size))
+    distances = backend.dtw_verification(query, segments, rho)
+    top = backend.k_select(distances, min(k, starts.size))
     d = query.size
     stats = ScanStats(
         dtw_cells=int(starts.size * d * min(d, 2 * rho + 1)),

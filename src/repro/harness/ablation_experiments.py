@@ -26,7 +26,6 @@ from ..core.config import SMiLerConfig
 from ..core.scaleout import truncate_history
 from ..core.smiler import SMiLer
 from ..gpu.costmodel import DeviceSpec
-from ..gpu.device import GpuDevice
 from ..index.suffix_search import SuffixKnnEngine, SuffixSearchConfig
 from ..index.window_index import WindowLevelIndex
 from ..timeseries.datasets import make_dataset
@@ -176,7 +175,7 @@ def run_threshold_reuse_ablation(
                 reuse_threshold=reuse,
             )
             engine = SuffixKnnEngine(
-                history.values, config, device=scale.device()
+                history.values, config, backend=scale.backend()
             )
             engine.search()
             for point in tail:
@@ -231,9 +230,9 @@ def run_window_reuse_ablation(
     master_len = max(scale.item_lengths)
 
     # Ring updates.
-    ring_device = scale.device()
+    ring_device = scale.backend()
     ring = WindowLevelIndex(
-        history.values, master_len, scale.omega, scale.rho, device=ring_device
+        history.values, master_len, scale.omega, scale.rho, backend=ring_device
     )
     ring.build(history.values[-master_len:])
     before = ring_device.elapsed_s
@@ -242,13 +241,13 @@ def run_window_reuse_ablation(
     step_time = (ring_device.elapsed_s - before) / scale.continuous_steps
 
     # Rebuild from scratch each step.
-    rebuild_device = scale.device()
+    rebuild_device = scale.backend()
     stream = np.asarray(history.values, dtype=np.float64)
     before = rebuild_device.elapsed_s
     for point in tail:
         stream = np.append(stream, float(point))
         fresh = WindowLevelIndex(
-            stream, master_len, scale.omega, scale.rho, device=rebuild_device
+            stream, master_len, scale.omega, scale.rho, backend=rebuild_device
         )
         fresh.build(stream[-master_len:])
     rebuild_time = (rebuild_device.elapsed_s - before) / scale.continuous_steps
@@ -297,12 +296,12 @@ def run_parameter_sensitivity(
         for rho in rhos:
             if min(scale.item_lengths) < omega:
                 continue
-            device = scale.device()
+            device = scale.backend()
             config = SuffixSearchConfig(
                 item_lengths=scale.item_lengths, k_max=32,
                 omega=omega, rho=rho, margin=1,
             )
-            engine = SuffixKnnEngine(history.values, config, device=device)
+            engine = SuffixKnnEngine(history.values, config, backend=device)
             engine.search()
             before = device.elapsed_s
             unfiltered, queries = 0, 0

@@ -14,6 +14,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..backend.simulated import SimulatedGpuBackend
 from ..baselines.base import BaseForecaster
 from ..baselines.gp_offline import PSGPForecaster, VLGPForecaster
 from ..baselines.holt_winters import HoltWintersForecaster
@@ -402,7 +403,12 @@ def run_fig12(
             steps = min(scale.steps, scale.test_points)
             for sensor in range(ds.n_sensors):
                 history, tail = ds.sensor(sensor)
-                smiler = SMiLer(history.values, config)
+                # Paper figures need the cost model: pin the simulated backend
+                # regardless of the process-default backend.
+                smiler = SMiLer(
+                    history.values, config,
+                    backend=SimulatedGpuBackend(),
+                )
                 before_sim = smiler.device.elapsed_s
                 t0 = time.perf_counter()
                 for point in tail[:steps]:

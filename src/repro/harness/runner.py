@@ -15,10 +15,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..backend.base import ComputeBackend
 from ..baselines.base import BaseForecaster
 from ..core.config import SMiLerConfig
 from ..core.smiler import SMiLer
-from ..gpu.device import GpuDevice
 from ..metrics.errors import mae, mnlpd, rmse
 
 __all__ = ["SMiLerForecaster", "HorizonScores", "RunResult", "run_continuous"]
@@ -33,9 +33,11 @@ class SMiLerForecaster(BaseForecaster):
 
     is_offline = False
 
-    def __init__(self, config: SMiLerConfig, device: GpuDevice | None = None) -> None:
+    def __init__(
+        self, config: SMiLerConfig, backend: ComputeBackend | None = None
+    ) -> None:
         self.config = config
-        self.device = device
+        self.backend = backend
         self.name = "SMiLer-GP" if config.predictor == "gp" else "SMiLer-AR"
         if not config.ensemble:
             self.name += " (NE)"
@@ -53,7 +55,8 @@ class SMiLerForecaster(BaseForecaster):
     def fit(self, history: np.ndarray) -> "SMiLerForecaster":
         """Train on the historical stream (see BaseForecaster.fit)."""
         self._smiler = SMiLer(
-            np.asarray(history, dtype=np.float64), self.config, device=self.device
+            np.asarray(history, dtype=np.float64), self.config,
+            backend=self.backend,
         )
         return self
 

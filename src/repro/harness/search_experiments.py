@@ -14,15 +14,10 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from ..dtw.knn import fast_cpu_scan
+from ..backend.simulated import SimulatedGpuBackend
 from ..gpu.costmodel import CpuCostModel
 from ..gpu.costmodel import DeviceSpec
-from ..gpu.device import GpuDevice
-from ..gpu.kernels import (
-    OPS_PER_DTW_CELL,
-    OPS_PER_LB_TERM,
-    dtw_verification_kernel,
-    k_select_kernel,
-)
+from ..gpu.kernels import OPS_PER_DTW_CELL, OPS_PER_LB_TERM
 from ..gpu.scan import fast_gpu_scan, gpu_scan
 from ..index.direct import direct_lb_en
 from ..index.suffix_search import SuffixKnnEngine, SuffixSearchConfig
@@ -61,13 +56,17 @@ class SearchScale:
     rho: int = 8
     launch_overhead_s: float = 0.0
 
-    def device(self) -> GpuDevice:
-        """A fresh simulated device in the batched-fleet regime."""
-        return GpuDevice(
-            DeviceSpec(
+    def backend(self) -> SimulatedGpuBackend:
+        """A fresh simulated backend in the batched-fleet regime."""
+        return SimulatedGpuBackend(
+            spec=DeviceSpec(
                 launch_overhead_s=self.launch_overhead_s, work_conserving=True
             )
         )
+
+    def device(self) -> SimulatedGpuBackend:
+        """Deprecated alias for :meth:`backend`."""
+        return self.backend()
 
 
 def _sensor_streams(dataset: str, scale: SearchScale) -> list[np.ndarray]:
@@ -135,7 +134,7 @@ def run_table3(scale: SearchScale | None = None) -> Table3Result:
                     margin=1,
                     lb_mode=mode,
                 )
-                engine = SuffixKnnEngine(history, config, device=scale.device())
+                engine = SuffixKnnEngine(history, config, backend=scale.backend())
                 engine.search()
                 for point in tail:
                     answers = engine.step(float(point))
@@ -186,7 +185,7 @@ class Fig7Result:
 
 
 def _direct_suffix_knn(
-    device: GpuDevice,
+    backend: SimulatedGpuBackend,
     master: np.ndarray,
     series: np.ndarray,
     item_lengths: tuple[int, ...],
@@ -194,7 +193,7 @@ def _direct_suffix_knn(
     k: int,
 ) -> None:
     """SMiLer-Dir: direct LB_en filter + verification, no index reuse."""
-    bounds = direct_lb_en(device, master, series, item_lengths, rho)
+    bounds = direct_lb_en(backend, master, series, item_lengths, rho)
     segments_cache = {}
     for d, lb in bounds.items():
         query = master[master.size - d :]
@@ -205,13 +204,13 @@ def _direct_suffix_knn(
         segments = segments_cache[d]
         pool = min(max(4 * k, 64), starts.size)
         seeds = starts[np.argpartition(lb, pool - 1)[:pool]]
-        seed_distances = dtw_verification_kernel(device, query, segments[seeds], rho)
+        seed_distances = backend.dtw_verification(query, segments[seeds], rho)
         tau = float(np.partition(seed_distances, min(k, pool) - 1)[min(k, pool) - 1])
         unfiltered = starts[lb <= tau + 1e-12]
         to_verify = np.setdiff1d(unfiltered, seeds)
-        distances = dtw_verification_kernel(device, query, segments[to_verify], rho)
+        distances = backend.dtw_verification(query, segments[to_verify], rho)
         merged = np.concatenate([seed_distances, distances])
-        k_select_kernel(device, merged, min(k, merged.size))
+        backend.k_select(merged, min(k, merged.size))
 
 
 def run_fig7(
@@ -239,14 +238,14 @@ def run_fig7(
         }
         for k in ks:
             # --- SMiLer-Idx: continuous reuse --------------------------------
-            device = scale.device()
+            device = scale.backend()
             step_time = 0.0
             for history, tail in streams:
                 config = SuffixSearchConfig(
                     item_lengths=scale.item_lengths, k_max=k,
                     omega=scale.omega, rho=scale.rho, margin=1,
                 )
-                engine = SuffixKnnEngine(history, config, device=device)
+                engine = SuffixKnnEngine(history, config, backend=device)
                 engine.search()  # warm-up build (not part of per-step cost)
                 before = device.elapsed_s
                 for point in tail:
@@ -255,9 +254,9 @@ def run_fig7(
             methods["SMiLer-Idx"].append(step_time / scale.continuous_steps)
 
             # --- SMiLer-Dir, scans: no reuse, every step from scratch --------
-            dir_device = scale.device()
-            fgpu_device = scale.device()
-            gpu_device = scale.device()
+            dir_device = scale.backend()
+            fgpu_device = scale.backend()
+            gpu_device = scale.backend()
             cpu = CpuCostModel()
             for history, tail in streams:
                 stream = np.asarray(history, dtype=np.float64)
@@ -320,8 +319,8 @@ def run_fig8(scale: SearchScale | None = None) -> Fig8Result:
     lb_kernels = ("window_index_build", "window_index_step", "group_index_sum")
     for dataset in DATASET_NAMES:
         streams = _sensor_streams(dataset, scale)
-        index_device = scale.device()
-        direct_device = scale.device()
+        index_device = scale.backend()
+        direct_device = scale.backend()
         index_time = 0.0
 
         def _lb_time() -> float:
@@ -334,7 +333,7 @@ def run_fig8(scale: SearchScale | None = None) -> Fig8Result:
                 item_lengths=scale.item_lengths, k_max=32,
                 omega=scale.omega, rho=scale.rho, margin=1,
             )
-            engine = SuffixKnnEngine(history, config, device=index_device)
+            engine = SuffixKnnEngine(history, config, backend=index_device)
             engine.search()
             before = _lb_time()
             stream = np.asarray(history, dtype=np.float64)

@@ -11,16 +11,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend.base import ComputeBackend, as_backend
 from ..dtw.envelope import compute_envelope
 from ..dtw.lower_bounds import lb_profile
-from ..gpu.device import GpuDevice
 from ..gpu.kernels import OPS_PER_LB_TERM, THREADS_PER_BLOCK
 
 __all__ = ["direct_lb_en"]
 
 
 def direct_lb_en(
-    device: GpuDevice,
+    backend: ComputeBackend | None,
     master_query: np.ndarray,
     series: np.ndarray,
     item_lengths: tuple[int, ...],
@@ -32,6 +32,7 @@ def direct_lb_en(
     candidates, each thread walking the full ``d`` positions of its
     candidate for both bound sides (no reuse whatsoever).
     """
+    backend = as_backend(backend)
     master_query = np.asarray(master_query, dtype=np.float64)
     series = np.asarray(series, dtype=np.float64)
     series_env = compute_envelope(series, rho)
@@ -42,7 +43,7 @@ def direct_lb_en(
             query, series, rho, series_envelope=series_env
         )
         n_candidates = lbeq.size
-        device.launch(
+        backend.launch(
             "direct_lb_en",
             n_blocks=-(-n_candidates // THREADS_PER_BLOCK),
             ops_per_thread=2 * d * OPS_PER_LB_TERM,

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..gpu.device import GpuDevice
+from ..backend.base import ComputeBackend
 from ..gpu.kernels import THREADS_PER_BLOCK
 from ..timeseries.windows import aligned_segment_start, csg_size
 from .window_index import WindowLevelIndex
@@ -68,7 +68,7 @@ class GroupLevelIndex:
         self,
         window_index: WindowLevelIndex,
         item_lengths: tuple[int, ...],
-        device: GpuDevice | None = None,
+        backend: ComputeBackend | None = None,
     ) -> None:
         lengths = tuple(sorted(set(int(d) for d in item_lengths)))
         if not lengths:
@@ -82,7 +82,12 @@ class GroupLevelIndex:
             )
         self.window_index = window_index
         self.item_lengths = lengths
-        self.device = device or window_index.device
+        self.backend = backend if backend is not None else window_index.backend
+
+    @property
+    def device(self) -> ComputeBackend:
+        """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
+        return self.backend
 
     def compute(self) -> dict[int, ItemLowerBounds]:
         """One pass of Algorithm 1: bounds for every item query."""
@@ -126,7 +131,7 @@ class GroupLevelIndex:
                     if m_i != m:
                         continue
                     self._emit(results[d], peq, pec, b, m, omega, series_len)
-        self.device.launch(
+        self.backend.launch(
             "group_index_sum",
             n_blocks=omega,
             ops_per_thread=(

@@ -33,8 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from ..gpu.device import GpuDevice
-from ..gpu.kernels import dtw_verification_kernel, k_select_kernel
+from ..backend.base import ComputeBackend, as_backend
 from ..obs import hooks as obs
 from .group_index import GroupLevelIndex, ItemLowerBounds
 from .window_index import WindowLevelIndex
@@ -96,11 +95,11 @@ class SuffixKnnEngine:
         self,
         series_values: np.ndarray,
         config: SuffixSearchConfig | None = None,
-        device: GpuDevice | None = None,
+        backend: ComputeBackend | None = None,
         master_query: np.ndarray | None = None,
     ) -> None:
         self.config = config or SuffixSearchConfig()
-        self.device = device or GpuDevice()
+        self.backend = as_backend(backend)
         series_values = np.asarray(series_values, dtype=np.float64)
         if master_query is None:
             master_query = series_values[-self.config.master_length :]
@@ -111,16 +110,21 @@ class SuffixKnnEngine:
             master_length=self.config.master_length,
             omega=self.config.omega,
             rho=self.config.rho,
-            device=self.device,
+            backend=self.backend,
         )
         self.group_index = GroupLevelIndex(
-            self.window_index, self.config.item_lengths, device=self.device
+            self.window_index, self.config.item_lengths, backend=self.backend
         )
         self.window_index.build(master_query)
         self._master_query = master_query.copy()
         self._previous_knn: dict[int, np.ndarray] = {}
 
     # ---------------------------------------------------------------- state
+    @property
+    def device(self) -> ComputeBackend:
+        """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
+        return self.backend
+
     @property
     def series(self) -> np.ndarray:
         """Current series contents (read-only view)."""
@@ -138,8 +142,8 @@ class SuffixKnnEngine:
     # --------------------------------------------------------------- search
     def search(self) -> dict[int, SuffixKnnAnswer]:
         """Run the Suffix kNN Search for every item query."""
-        with obs.span("search", self.device):
-            with obs.span("lower_bounds", self.device):
+        with obs.span("search", self.backend):
+            with obs.span("lower_bounds", self.backend):
                 bounds = self.group_index.compute()
             return {
                 d: self._search_one(d, bounds[d])
@@ -179,9 +183,9 @@ class SuffixKnnEngine:
         bound = lbs.bound(cfg.lb_mode)[starts]
         segments = sliding_window_view(series, d)
 
-        before = self.device.elapsed_s
+        before = self.backend.elapsed_s
 
-        with obs.span("dtw_refine", self.device) as sp:
+        with obs.span("dtw_refine", self.backend) as sp:
             # --- threshold tau_i ---------------------------------------------
             prev = self._previous_knn.get(d)
             if cfg.reuse_threshold and prev is not None:
@@ -198,8 +202,8 @@ class SuffixKnnEngine:
                 )
                 pool = min(max(4 * k, 64), starts.size)
                 seed_starts = starts[np.argpartition(bound, pool - 1)[:pool]]
-            seed_distances = dtw_verification_kernel(
-                self.device, query, segments[seed_starts], cfg.rho
+            seed_distances = self.backend.dtw_verification(
+                query, segments[seed_starts], cfg.rho
             )
             tau = float(np.partition(seed_distances, k - 1)[k - 1])
 
@@ -211,8 +215,8 @@ class SuffixKnnEngine:
             )
 
             # --- verification ------------------------------------------------
-            distances = dtw_verification_kernel(
-                self.device, query, segments[to_verify], cfg.rho
+            distances = self.backend.dtw_verification(
+                query, segments[to_verify], cfg.rho
             )
             all_starts = np.concatenate([seed_starts, to_verify])
             all_distances = np.concatenate([seed_distances, distances])
@@ -221,8 +225,8 @@ class SuffixKnnEngine:
                 sp.attrs["verified"] = int(all_starts.size)
 
         # --- selection -------------------------------------------------------
-        with obs.span("k_select", self.device):
-            top = k_select_kernel(self.device, all_distances, k)
+        with obs.span("k_select", self.backend):
+            top = self.backend.k_select(all_distances, k)
         answer_starts = all_starts[top]
         answer_distances = all_distances[top]
         self._previous_knn[d] = answer_starts.copy()
@@ -234,5 +238,5 @@ class SuffixKnnEngine:
             distances=answer_distances,
             candidates_total=int(starts.size),
             candidates_unfiltered=int(unfiltered.size),
-            verification_sim_s=self.device.elapsed_s - before,
+            verification_sim_s=self.backend.elapsed_s - before,
         )

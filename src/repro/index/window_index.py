@@ -36,9 +36,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend.base import ComputeBackend, as_backend
 from ..dtw.envelope import Envelope, compute_envelope, envelope_extend
 from ..dtw.lower_bounds import window_pair_lb_matrices
-from ..gpu.device import GpuDevice
 from ..gpu.kernels import OPS_PER_LB_TERM, THREADS_PER_BLOCK
 from ..obs.hooks import observe_window_reuse
 
@@ -54,7 +54,7 @@ class WindowLevelIndex:
         master_length: int,
         omega: int,
         rho: int,
-        device: GpuDevice | None = None,
+        backend: ComputeBackend | None = None,
         capacity_hint: int = 0,
     ) -> None:
         series_values = np.asarray(series_values, dtype=np.float64)
@@ -71,7 +71,7 @@ class WindowLevelIndex:
         self.rho = int(rho)
         self.master_length = int(master_length)
         self.n_sw = master_length - omega + 1
-        self.device = device or GpuDevice()
+        self.backend = as_backend(backend)
 
         capacity = max(capacity_hint, 2 * series_values.size, 1024)
         self._series = np.empty(capacity, dtype=np.float64)
@@ -94,6 +94,11 @@ class WindowLevelIndex:
         self.columns_recomputed_lbec = 0
 
     # ---------------------------------------------------------------- views
+    @property
+    def device(self) -> ComputeBackend:
+        """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
+        return self.backend
+
     @property
     def series(self) -> np.ndarray:
         """Current series contents (read-only view)."""
@@ -167,7 +172,7 @@ class WindowLevelIndex:
         per_thread = (
             -(-self.n_dw // THREADS_PER_BLOCK) * self.omega * 2 * OPS_PER_LB_TERM
         )
-        self.device.launch(
+        self.backend.launch(
             "window_index_build",
             n_blocks=self.n_sw,
             ops_per_thread=per_thread,
@@ -232,7 +237,7 @@ class WindowLevelIndex:
         per_thread = (
             -(-self.n_dw // THREADS_PER_BLOCK) * self.omega * 2 * OPS_PER_LB_TERM
         )
-        self.device.launch(
+        self.backend.launch(
             "window_index_step",
             n_blocks=len(list(refresh)),
             ops_per_thread=per_thread,
@@ -302,7 +307,22 @@ class WindowLevelIndex:
 
     def memory_bytes(self) -> int:
         """Device-resident footprint: series + envelope + posting lists."""
-        series = self._series_len * 8
-        envelope = 2 * self._series_len * 8
-        postings = 2 * self.n_sw * self.n_dw * 8
+        return self.estimate_memory_bytes(
+            self._series_len, self.master_length, self.omega
+        )
+
+    @staticmethod
+    def estimate_memory_bytes(
+        series_len: int, master_length: int, omega: int
+    ) -> int:
+        """Footprint of an index over ``series_len`` points, *before* build.
+
+        Exact (the footprint is an analytic function of the shape), so
+        placement can reserve memory without constructing the index.
+        """
+        n_sw = master_length - omega + 1
+        n_dw = series_len // omega
+        series = series_len * 8
+        envelope = 2 * series_len * 8
+        postings = 2 * n_sw * n_dw * 8
         return series + envelope + postings

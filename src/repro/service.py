@@ -6,12 +6,23 @@ API an application backend actually calls:
 
 * ``register(sensor_id, history)`` — admit a sensor (z-normalisation is
   handled internally; forecasts are served on the *raw* scale),
-* ``ingest(sensor_id, value)`` — one new raw reading,
+* ``ingest(sensor_id, value)`` / ``ingest_many({id: value})`` — new raw
+  readings, singly or batched,
 * ``forecast(sensor_id, horizon)`` — raw-scale mean, standard deviation
-  and a central interval,
+  and a central interval; ``forecast_all()`` serves the whole fleet,
+  grouping work per backend,
 * ``snapshot(directory)`` / ``restore(directory)`` — persist every
   sensor's state across restarts,
 * ``status()`` — fleet-level diagnostics.
+
+The service shards sensors over a :class:`~repro.backend.BackendPool`:
+pass ``backends=[...]`` to spread the fleet across several devices
+(Section 6.4.1's scale-out option 1) or a single
+:class:`~repro.backend.NativeBackend` for a pure-NumPy serving fast
+path.  Every admission — ``register``, ``restore`` — estimates the
+sensor's memory first and routes through the pool's one greedy
+placement policy, so an index is only ever built once, on the backend
+that will host it.
 
 The service is synchronous and single-threaded by design (SMiLer's step
 cost is milliseconds; a sensor fleet at 5-10 minute sampling needs no
@@ -23,24 +34,46 @@ from __future__ import annotations
 
 import logging
 import pathlib
+import re
 import time
 from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 from scipy.special import erfinv
 
+from .backend.base import ComputeBackend
+from .backend.pool import BackendPool, Placement
 from .core.config import SMiLerConfig
-from .core.persistence import load_smiler, save_smiler
+from .core.persistence import build_smiler, load_snapshot, save_smiler
 from .core.smiler import SMiLer
-from .gpu.device import Allocation, GpuDevice
 from .obs import hooks as obs
 from .obs.exposition import to_json
 from .obs.tracing import Span
 from .timeseries.series import ZNormStats
 
-__all__ = ["Forecast", "PredictionService"]
+__all__ = ["Forecast", "PredictionService", "SnapshotCorruptionError"]
 
 logger = logging.getLogger(__name__)
+
+#: Sensor ids become snapshot filenames, so they must be safe path
+#: components: leading alphanumeric (rules out ``_norms`` and dotfiles),
+#: then alphanumerics and ``. _ : -`` (no separators, no traversal).
+_SENSOR_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._:-]*")
+
+
+class SnapshotCorruptionError(RuntimeError):
+    """A snapshot directory is internally inconsistent (orphan or
+    hand-edited archives); the message names the offending file."""
+
+
+def _validate_sensor_id(sensor_id: str) -> str:
+    if not isinstance(sensor_id, str) or not _SENSOR_ID_RE.fullmatch(sensor_id):
+        raise ValueError(
+            f"invalid sensor id {sensor_id!r}: ids must match "
+            f"{_SENSOR_ID_RE.pattern!r} (they become snapshot filenames)"
+        )
+    return sensor_id
 
 
 @dataclass(frozen=True)
@@ -68,27 +101,86 @@ class Forecast:
 
 
 class PredictionService:
-    """Multi-sensor forecast service on one simulated device."""
+    """Multi-sensor forecast service sharded over a backend pool."""
 
     def __init__(
         self,
         config: SMiLerConfig | None = None,
-        device: GpuDevice | None = None,
+        backends: ComputeBackend | Iterable[object] | None = None,
         min_history: int = 256,
+        normalize: bool = True,
     ) -> None:
         if min_history <= 0:
             raise ValueError(f"min_history must be positive, got {min_history}")
         self.config = config or SMiLerConfig()
-        self.device = device or GpuDevice()
+        if backends is None:
+            backends = [None]
+        elif isinstance(backends, (list, tuple)):
+            backends = list(backends)
+        else:
+            backends = [backends]
+        self._pool = BackendPool(backends)
         self.min_history = min_history
+        self.normalize = normalize
         self._sensors: dict[str, SMiLer] = {}
         self._norms: dict[str, ZNormStats] = {}
-        self._allocations: dict[str, Allocation] = {}
+        self._placements: dict[str, Placement] = {}
         self._last_trace: Span | None = None
+
+    # ------------------------------------------------------------- backends
+    @property
+    def backends(self) -> list[ComputeBackend]:
+        """The pool's backends, in placement-index order."""
+        return self._pool.backends
+
+    @property
+    def device(self) -> ComputeBackend:
+        """Deprecated alias: the first backend (pre-pool name)."""
+        return self._pool.backends[0]
+
+    def placement_of(self, sensor_id: str) -> int:
+        """Index of the backend hosting a sensor."""
+        self._require(sensor_id)
+        return self._placements[sensor_id].backend_index
+
+    def sensors_per_backend(self) -> list[int]:
+        """Sensor count hosted on each backend."""
+        counts = [0] * len(self._pool)
+        for placement in self._placements.values():
+            counts[placement.backend_index] += 1
+        return counts
+
+    def _admit(
+        self,
+        sensor_id: str,
+        n_points: int,
+        config: SMiLerConfig,
+        build: Callable[[ComputeBackend], SMiLer],
+    ) -> SMiLer:
+        """The one admission path: estimate, place, build once, record.
+
+        The analytic estimate lets the pool pick a backend *before* the
+        index is built, so construction happens exactly once, on the
+        backend that hosts the sensor.
+        """
+        estimate = SMiLer.estimate_memory_bytes(n_points, config)
+        placement = self._pool.allocate(estimate, label=sensor_id)
+        try:
+            smiler = build(self._pool.backend(placement))
+        except Exception:
+            self._pool.release(placement)
+            raise
+        actual = smiler.memory_bytes()
+        if actual != placement.allocation.nbytes:
+            placement = self._pool.resize(placement, actual)
+        self._sensors[sensor_id] = smiler
+        self._placements[sensor_id] = placement
+        return smiler
 
     # ------------------------------------------------------------ lifecycle
     def register(self, sensor_id: str, history: np.ndarray) -> None:
         """Admit a sensor with its raw history."""
+        _validate_sensor_id(sensor_id)
         if sensor_id in self._sensors:
             raise ValueError(f"sensor {sensor_id!r} is already registered")
         history = np.asarray(history, dtype=np.float64)
@@ -102,20 +194,26 @@ class PredictionService:
                 f"sensor {sensor_id!r} history contains non-finite values; "
                 "repair with repro.timeseries.fill_missing first"
             )
-        std = float(np.std(history))
-        stats = ZNormStats(mean=float(np.mean(history)), std=max(std, 1e-12))
-        smiler = SMiLer(
-            stats.apply(history), self.config, device=self.device,
-            sensor_id=sensor_id,
+        if self.normalize:
+            std = float(np.std(history))
+            stats = ZNormStats(mean=float(np.mean(history)), std=max(std, 1e-12))
+        else:
+            stats = ZNormStats(mean=0.0, std=1.0)
+        normalised = stats.apply(history)
+        smiler = self._admit(
+            sensor_id,
+            normalised.size,
+            self.config,
+            lambda backend: SMiLer(
+                normalised, self.config, backend=backend, sensor_id=sensor_id
+            ),
         )
-        self._allocations[sensor_id] = self.device.malloc(
-            smiler.memory_bytes(), label=sensor_id
-        )
-        self._sensors[sensor_id] = smiler
         self._norms[sensor_id] = stats
         logger.debug(
-            "registered sensor %s: %d history points, %d index bytes",
+            "registered sensor %s: %d history points, %d index bytes on "
+            "backend %d",
             sensor_id, history.size, smiler.memory_bytes(),
+            self._placements[sensor_id].backend_index,
         )
 
     def deregister(self, sensor_id: str) -> None:
@@ -123,13 +221,17 @@ class PredictionService:
         self._require(sensor_id)
         del self._sensors[sensor_id]
         del self._norms[sensor_id]
-        self.device.free(self._allocations.pop(sensor_id))
+        self._pool.release(self._placements.pop(sensor_id))
         logger.debug("deregistered sensor %s", sensor_id)
 
     @property
     def sensor_ids(self) -> list[str]:
         """Registered sensor identifiers, sorted."""
         return sorted(self._sensors)
+
+    def sensor(self, sensor_id: str) -> SMiLer:
+        """The SMiLer instance serving one sensor."""
+        return self._require(sensor_id)
 
     def _require(self, sensor_id: str) -> SMiLer:
         if sensor_id not in self._sensors:
@@ -147,6 +249,27 @@ class PredictionService:
             )
         smiler.observe(self._norms[sensor_id].apply(np.array([value]))[0])
 
+    def ingest_many(self, readings: Mapping[str, float]) -> None:
+        """Feed one batch of raw readings, one per sensor.
+
+        The whole batch is validated before any sensor advances, so a bad
+        reading leaves every stream untouched (no half-applied ticks).
+        """
+        checked: dict[str, float] = {}
+        for sensor_id, value in readings.items():
+            self._require(sensor_id)
+            value = float(value)
+            if not np.isfinite(value):
+                raise ValueError(
+                    f"non-finite reading for {sensor_id!r}; impute before "
+                    "ingest"
+                )
+            checked[sensor_id] = value
+        for sensor_id, value in checked.items():
+            self._sensors[sensor_id].observe(
+                self._norms[sensor_id].apply(np.array([value]))[0]
+            )
+
     def forecast(
         self, sensor_id: str, horizon: int | None = None, level: float = 0.95
     ) -> Forecast:
@@ -161,7 +284,7 @@ class PredictionService:
             # silently remap a (buggy) horizon=0 to the default.
             raise ValueError(f"horizon must be positive, got {horizon}")
         t0 = time.perf_counter()
-        with obs.span("forecast", self.device) as sp:
+        with obs.span("forecast", smiler.backend) as sp:
             if sp is not None:
                 sp.attrs["sensor_id"] = sensor_id
                 sp.attrs["horizon"] = horizon
@@ -182,11 +305,21 @@ class PredictionService:
     def forecast_all(
         self, horizon: int | None = None, level: float = 0.95
     ) -> dict[str, Forecast]:
-        """Forecasts for every registered sensor."""
-        return {
-            sensor_id: self.forecast(sensor_id, horizon, level)
-            for sensor_id in self.sensor_ids
-        }
+        """Forecasts for every registered sensor, grouped per backend.
+
+        Sensors sharing a backend run back-to-back (good locality on a
+        real device; on the simulated one it keeps each device's time
+        ledger contiguous); the returned dict is sorted by sensor id.
+        """
+        by_backend: dict[int, list[str]] = {}
+        for sensor_id in self.sensor_ids:
+            index = self._placements[sensor_id].backend_index
+            by_backend.setdefault(index, []).append(sensor_id)
+        results: dict[str, Forecast] = {}
+        for index in sorted(by_backend):
+            for sensor_id in by_backend[index]:
+                results[sensor_id] = self.forecast(sensor_id, horizon, level)
+        return dict(sorted(results.items()))
 
     # ------------------------------------------------------------ snapshots
     def snapshot(self, directory) -> list[pathlib.Path]:
@@ -195,6 +328,9 @@ class PredictionService:
         directory.mkdir(parents=True, exist_ok=True)
         paths = []
         for sensor_id, smiler in self._sensors.items():
+            # Ids are validated at register(); re-check here so a future
+            # bypass can never write outside the snapshot directory.
+            _validate_sensor_id(sensor_id)
             path = directory / f"{sensor_id}.npz"
             save_smiler(smiler, path)
             paths.append(path)
@@ -211,7 +347,12 @@ class PredictionService:
         return paths
 
     def restore(self, directory) -> None:
-        """Load every snapshotted sensor into this (empty) service."""
+        """Load every snapshotted sensor into this (empty) service.
+
+        Each archive is parsed first, its memory estimated, and the pool
+        picks the hosting backend before the index is rebuilt — the same
+        admission path as :meth:`register`.
+        """
         if self._sensors:
             raise RuntimeError("restore() requires an empty service")
         directory = pathlib.Path(directory)
@@ -223,14 +364,30 @@ class PredictionService:
         for path in sorted(directory.glob("*.npz")):
             if path.name == "_norms.npz":
                 continue
-            smiler = load_smiler(path, device=self.device)
-            sensor_id = smiler.sensor_id
-            self._sensors[sensor_id] = smiler
-            self._norms[sensor_id] = ZNormStats(
-                mean=raw[f"{sensor_id}_mean"], std=raw[f"{sensor_id}_std"]
+            snapshot = load_snapshot(path)
+            sensor_id = snapshot.sensor_id
+            if not _SENSOR_ID_RE.fullmatch(sensor_id):
+                raise SnapshotCorruptionError(
+                    f"archive {path.name!r} declares invalid sensor id "
+                    f"{sensor_id!r}"
+                )
+            mean_key, std_key = f"{sensor_id}_mean", f"{sensor_id}_std"
+            if mean_key not in raw or std_key not in raw:
+                raise SnapshotCorruptionError(
+                    f"archive {path.name!r} holds sensor {sensor_id!r} but "
+                    f"{norm_path.name!r} has no normalisation stats for it "
+                    "— orphan archive from another snapshot?"
+                )
+            self._admit(
+                sensor_id,
+                snapshot.series.size,
+                snapshot.config,
+                lambda backend, snap=snapshot: build_smiler(
+                    snap, backend=backend
+                ),
             )
-            self._allocations[sensor_id] = self.device.malloc(
-                smiler.memory_bytes(), label=sensor_id
+            self._norms[sensor_id] = ZNormStats(
+                mean=raw[mean_key], std=raw[std_key]
             )
 
     # ------------------------------------------------------- observability
@@ -252,10 +409,20 @@ class PredictionService:
     # ------------------------------------------------------------- status
     def status(self) -> dict:
         """Fleet diagnostics: memory, simulated time, per-sensor state."""
+        counts = self.sensors_per_backend()
         return {
             "n_sensors": len(self._sensors),
-            "device_memory_bytes": self.device.allocated_bytes,
-            "device_sim_seconds": self.device.elapsed_s,
+            "device_memory_bytes": self._pool.allocated_bytes,
+            "device_sim_seconds": self._pool.elapsed_s,
+            "backends": [
+                {
+                    "name": backend.name,
+                    "n_sensors": counts[i],
+                    "allocated_bytes": backend.allocated_bytes,
+                    "sim_seconds": backend.elapsed_s,
+                }
+                for i, backend in enumerate(self._pool.backends)
+            ],
             "sensors": {
                 sensor_id: smiler.diagnostics()
                 for sensor_id, smiler in self._sensors.items()

@@ -140,7 +140,7 @@ class TestFleet:
         tiny = GpuDevice(DeviceSpec(memory_bytes=50_000))
         histories = [periodic_history(seed=s)[:600] for s in range(8)]
         with pytest.raises(GpuMemoryError):
-            SensorFleet(histories, SMALL, device=tiny)
+            SensorFleet(histories, SMALL, backend=tiny)
 
     def test_fleet_validation(self):
         with pytest.raises(ValueError):
@@ -152,8 +152,12 @@ class TestFleet:
 
 class TestDiagnostics:
     def test_snapshot_fields(self):
+        from repro.backend import SimulatedGpuBackend
+
         history = periodic_history()
-        smiler = SMiLer(history[:700], SMALL)
+        # device_sim_seconds is a simulated-backend concept: pin it so the
+        # assertion holds under any REPRO_BACKEND default.
+        smiler = SMiLer(history[:700], SMALL, backend=SimulatedGpuBackend())
         for t in range(700, 706):
             smiler.predict()
             smiler.observe(history[t])

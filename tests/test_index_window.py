@@ -13,7 +13,7 @@ def make_series(n, seed=0):
 
 
 def fresh_index(series, master, omega=4, rho=2):
-    idx = WindowLevelIndex(series, master.size, omega, rho, device=GpuDevice())
+    idx = WindowLevelIndex(series, master.size, omega, rho, backend=GpuDevice())
     idx.build(master)
     return idx
 
@@ -142,7 +142,7 @@ class TestContinuousReuse:
         series = make_series(12000)
         master = series[-96:]
         device = GpuDevice(DeviceSpec(launch_overhead_s=0.0))
-        idx = WindowLevelIndex(series, 96, 16, 8, device=device)
+        idx = WindowLevelIndex(series, 96, 16, 8, backend=device)
         idx.build(master)
         build_time = device.elapsed_s
         device.reset_time()

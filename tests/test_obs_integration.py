@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro import PredictionService, SMiLerConfig, obs
+from repro.backend import SimulatedGpuBackend
 
 
 @pytest.fixture(autouse=True)
@@ -27,7 +28,12 @@ def tiny_config(predictor: str = "gp") -> SMiLerConfig:
 
 
 def make_service(predictor: str = "gp") -> PredictionService:
-    service = PredictionService(config=tiny_config(predictor), min_history=300)
+    # These tests assert simulated-time spans and kernel counters, so pin
+    # the simulated backend regardless of the REPRO_BACKEND default.
+    service = PredictionService(
+        config=tiny_config(predictor), backends=SimulatedGpuBackend(),
+        min_history=300,
+    )
     rng = np.random.default_rng(7)
     history = np.sin(np.arange(400) * 0.1) + 0.05 * rng.standard_normal(400)
     service.register("s0", history)

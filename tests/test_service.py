@@ -3,10 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.backend import NativeBackend, SimulatedGpuBackend
 from repro.core import SMiLerConfig
 from repro.gpu.costmodel import DeviceSpec
 from repro.gpu.device import GpuDevice
-from repro.service import Forecast, PredictionService
+from repro.service import Forecast, PredictionService, SnapshotCorruptionError
 
 CONFIG = SMiLerConfig(
     elv=(8, 16), ekv=(4, 8), rho=2, omega=4, horizons=(1, 3),
@@ -75,10 +76,46 @@ class TestRegistration:
         footprint = probe.device.allocated_bytes
         # Headroom for ~2 sensors: any leak blows up within a few laps.
         device = GpuDevice(DeviceSpec(memory_bytes=int(2.5 * footprint)))
-        service = make_service(device=device)
+        service = make_service(backends=device)
         for _ in range(50):
             service.register("s", raw_history())
             service.deregister("s")
+        assert service.device.allocated_bytes == 0
+
+
+class TestSensorIdValidation:
+    @pytest.mark.parametrize(
+        "bad_id",
+        [
+            "",                  # empty
+            "building/3",        # path separator: would nest snapshot dirs
+            "..",                # traversal
+            "_norms",            # collides with the normalisation archive
+            ".hidden",           # dotfile
+            "a b",               # whitespace
+            "s1\n",              # trailing control character
+        ],
+    )
+    def test_bad_ids_rejected_at_register(self, bad_id):
+        with pytest.raises(ValueError, match="invalid sensor id"):
+            make_service().register(bad_id, raw_history())
+
+    def test_non_string_id_rejected(self):
+        with pytest.raises(ValueError, match="invalid sensor id"):
+            make_service().register(7, raw_history())
+
+    @pytest.mark.parametrize(
+        "good_id", ["s1", "building-3_floor:2", "A.b", "0"]
+    )
+    def test_good_ids_accepted(self, good_id):
+        service = make_service()
+        service.register(good_id, raw_history())
+        assert service.sensor_ids == [good_id]
+
+    def test_rejected_id_allocates_nothing(self):
+        service = make_service()
+        with pytest.raises(ValueError):
+            service.register("bad/id", raw_history())
         assert service.device.allocated_bytes == 0
 
 
@@ -193,6 +230,120 @@ class TestSnapshotRestore:
     def test_restore_missing_snapshot(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             make_service().restore(tmp_path / "nope")
+
+    def test_restore_orphan_archive_names_the_file(self, tmp_path):
+        """An archive with no matching normalisation stats is corruption,
+        reported by filename — not a raw KeyError from deep in numpy."""
+        service = make_service()
+        service.register("s1", raw_history())
+        service.snapshot(tmp_path)
+        # Drop an orphan sensor archive (from "another snapshot") in.
+        other = make_service()
+        other.register("ghost", raw_history(seed=9))
+        other.snapshot(tmp_path / "other")
+        (tmp_path / "other" / "ghost.npz").rename(tmp_path / "ghost.npz")
+
+        with pytest.raises(SnapshotCorruptionError, match="ghost.npz"):
+            make_service().restore(tmp_path)
+
+    def test_restore_rejects_invalid_declared_id(self, tmp_path):
+        service = make_service()
+        service.register("s1", raw_history())
+        service.snapshot(tmp_path)
+        # Hand-edit the archive metadata to declare a hostile sensor id.
+        import json
+
+        with np.load(tmp_path / "s1.npz") as archive:
+            data = {name: archive[name] for name in archive.files}
+        meta = json.loads(bytes(data["meta_json"].tobytes()).decode("utf-8"))
+        meta["sensor_id"] = "../evil"
+        data["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(tmp_path / "s1.npz", **data)
+        with pytest.raises(SnapshotCorruptionError, match="s1.npz"):
+            make_service().restore(tmp_path)
+
+
+class TestIngestMany:
+    def test_batch_advances_every_sensor(self):
+        service = make_service()
+        service.register("a", raw_history())
+        service.register("b", raw_history(seed=3))
+        before = {sid: service.sensor(sid).now for sid in ("a", "b")}
+        service.ingest_many({"a": 201.0, "b": 199.5})
+        for sid in ("a", "b"):
+            assert service.sensor(sid).now == before[sid] + 1
+
+    def test_bad_batch_applies_nothing(self):
+        """Validation covers the whole batch before any sensor advances:
+        one bad reading must not leave the fleet half-ticked."""
+        service = make_service()
+        service.register("a", raw_history())
+        service.register("b", raw_history(seed=3))
+        before = {sid: service.sensor(sid).now for sid in ("a", "b")}
+        with pytest.raises(ValueError):
+            service.ingest_many({"a": 201.0, "b": np.nan})
+        with pytest.raises(KeyError):
+            service.ingest_many({"a": 201.0, "ghost": 1.0})
+        for sid in ("a", "b"):
+            assert service.sensor(sid).now == before[sid]
+
+
+class TestMultiBackend:
+    def make_sharded(self, n_backends=2, n_sensors=4):
+        service = PredictionService(
+            CONFIG,
+            backends=[SimulatedGpuBackend() for _ in range(n_backends)],
+            min_history=100,
+        )
+        for i in range(n_sensors):
+            service.register(f"s{i}", raw_history(seed=i))
+        return service
+
+    def test_greedy_placement_balances(self):
+        service = self.make_sharded(n_backends=2, n_sensors=4)
+        assert service.sensors_per_backend() == [2, 2]
+        # Equal-size sensors on equal devices alternate greedily.
+        assert [service.placement_of(f"s{i}") for i in range(4)] == [0, 1, 0, 1]
+
+    def test_forecast_all_covers_the_fleet(self):
+        service = self.make_sharded()
+        forecasts = service.forecast_all()
+        assert list(forecasts) == sorted(service.sensor_ids)
+        assert all(f.std > 0 for f in forecasts.values())
+
+    def test_status_reports_per_backend(self):
+        service = self.make_sharded()
+        status = service.status()
+        assert len(status["backends"]) == 2
+        assert [b["n_sensors"] for b in status["backends"]] == [2, 2]
+        assert all(b["allocated_bytes"] > 0 for b in status["backends"])
+        assert sum(
+            b["allocated_bytes"] for b in status["backends"]
+        ) == status["device_memory_bytes"]
+
+    def test_deregister_frees_on_the_hosting_backend(self):
+        service = self.make_sharded(n_backends=2, n_sensors=2)
+        host = service.placement_of("s0")
+        before = service.backends[host].allocated_bytes
+        service.deregister("s0")
+        assert service.backends[host].allocated_bytes < before
+        assert service.sensors_per_backend()[host] == 0
+
+    def test_mixed_backend_kinds_shard_together(self):
+        service = PredictionService(
+            CONFIG,
+            backends=[SimulatedGpuBackend(), NativeBackend()],
+            min_history=100,
+        )
+        service.register("s0", raw_history())
+        service.register("s1", raw_history(seed=1))
+        # The native backend is unbounded, so it always has the most
+        # free bytes: everything lands there after the pool warms up.
+        names = {b["name"] for b in service.status()["backends"]}
+        assert names == {"simulated", "native"}
+        assert sum(service.sensors_per_backend()) == 2
 
 
 class TestStatus:
