@@ -17,13 +17,15 @@ from .base import (
     make_backend,
 )
 from .native import NativeBackend
-from .pool import BackendPool, Placement
+from .pool import BackendHealth, BackendPool, BreakerConfig, Placement
 from .simulated import SimulatedGpuBackend
 
 __all__ = [
     "BACKEND_ENV_VAR",
     "BACKEND_NAMES",
+    "BackendHealth",
     "BackendPool",
+    "BreakerConfig",
     "ComputeBackend",
     "GpuMemoryError",
     "NativeBackend",

@@ -131,31 +131,52 @@ class ComputeBackend(Protocol):
 BACKEND_NAMES = ("simulated", "native")
 
 
-def make_backend(name: str, **kwargs) -> "ComputeBackend":
+def make_backend(
+    name: str, fault_profile: object = None, **kwargs
+) -> "ComputeBackend":
     """Construct a backend by registered name.
 
     ``kwargs`` are forwarded to the backend constructor (e.g. ``spec=``
     for the simulated backend, ``capacity_bytes=`` for the native one).
+    ``fault_profile`` (a :class:`~repro.faults.FaultProfile`, a profile
+    name, or a ``key=value`` spec string) wraps the result in a
+    :class:`~repro.faults.FaultInjectingBackend`; ``None`` or a null
+    profile leaves the backend unwrapped.
     """
     from .native import NativeBackend
     from .simulated import SimulatedGpuBackend
 
     if name == "simulated":
-        return SimulatedGpuBackend(**kwargs)
-    if name == "native":
-        return NativeBackend(**kwargs)
-    raise ValueError(
-        f"unknown backend {name!r}; available: {', '.join(BACKEND_NAMES)}"
-    )
+        backend: "ComputeBackend" = SimulatedGpuBackend(**kwargs)
+    elif name == "native":
+        backend = NativeBackend(**kwargs)
+    else:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(BACKEND_NAMES)}"
+        )
+    if fault_profile is not None:
+        from ..faults import FaultInjectingBackend, as_fault_profile
+
+        profile = as_fault_profile(fault_profile)
+        if profile is not None:
+            return FaultInjectingBackend(backend, profile)
+    return backend
 
 
 def default_backend() -> "ComputeBackend":
     """A fresh backend of the process-default kind.
 
     The kind is ``simulated`` unless the ``REPRO_BACKEND`` environment
-    variable names another registered backend.
+    variable names another registered backend; the ``REPRO_FAULT_PROFILE``
+    environment variable additionally wraps it in deterministic fault
+    injection (see :mod:`repro.faults`).
     """
-    return make_backend(os.environ.get(BACKEND_ENV_VAR, "simulated"))
+    from ..faults import FAULT_PROFILE_ENV_VAR
+
+    return make_backend(
+        os.environ.get(BACKEND_ENV_VAR, "simulated"),
+        fault_profile=os.environ.get(FAULT_PROFILE_ENV_VAR),
+    )
 
 
 def as_backend(obj: object = None) -> "ComputeBackend":

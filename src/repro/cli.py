@@ -17,6 +17,11 @@ paper's data sizes).
 tree of the last forecast plus a Prometheus-text metrics export —
 the quickest way to see the observability layer
 (``docs/observability.md``) in action.
+
+``demo`` and ``stats`` accept ``--fault-profile`` (a named profile such
+as ``flaky-kernels``, or a ``key=value`` spec — see
+``docs/robustness.md``) to run the loop under deterministic fault
+injection and watch the degradation ladder serve through it.
 """
 
 from __future__ import annotations
@@ -28,7 +33,8 @@ import sys
 
 from . import harness, obs
 from .backend import BACKEND_NAMES, make_backend
-from .core import SMiLer, SMiLerConfig
+from .faults import FAULT_PROFILE_NAMES
+from .core import SMiLerConfig
 from .harness import AccuracyScale, SearchScale
 from .service import PredictionService
 from .timeseries import make_dataset
@@ -122,6 +128,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compute backend: 'simulated' keeps the paper's cost-model "
         "accounting, 'native' is the plain-NumPy fast path",
     )
+    demo.add_argument(
+        "--fault-profile", default=None, metavar="PROFILE",
+        help="wrap the backend in deterministic fault injection: a named "
+        f"profile ({', '.join(FAULT_PROFILE_NAMES)}) or a key=value spec "
+        "(see docs/robustness.md)",
+    )
 
     stats = sub.add_parser(
         "stats", help="short instrumented serving loop: trace + metrics"
@@ -138,6 +150,12 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--backend", choices=BACKEND_NAMES, default="simulated",
         help="compute backend serving the loop (default: simulated)",
+    )
+    stats.add_argument(
+        "--fault-profile", default=None, metavar="PROFILE",
+        help="wrap the backend in deterministic fault injection: a named "
+        f"profile ({', '.join(FAULT_PROFILE_NAMES)}) or a key=value spec "
+        "(see docs/robustness.md)",
     )
     return parser
 
@@ -169,30 +187,41 @@ def _run_experiment(
     return result.render() if hasattr(result, "render") else result
 
 
-def _run_demo(dataset: str, steps: int, predictor: str, backend: str) -> str:
+def _run_demo(
+    dataset: str, steps: int, predictor: str, backend: str,
+    fault_profile: str | None = None,
+) -> str:
     if steps <= 0:
         raise SystemExit("--steps must be positive")
     ds = make_dataset(
         dataset, n_sensors=1, n_points=3000, test_points=max(steps, 8)
     )
     history, tail = ds.sensor(0)
-    smiler = SMiLer(
-        history.values, SMiLerConfig(predictor=predictor),
-        backend=make_backend(backend),
+    # Serve through PredictionService so an injected fault degrades
+    # gracefully (visible in the source column) instead of crashing.
+    service = PredictionService(
+        config=SMiLerConfig(predictor=predictor),
+        backends=make_backend(backend, fault_profile=fault_profile),
+        normalize=False,
     )
+    service.register("demo", history.values)
     lines = [f"{dataset.upper()} sensor, SMiLer-{predictor.upper()} "
              f"({backend} backend), {steps} continuous steps",
-             "step  prediction   truth"]
+             "step  prediction   truth     source"]
     for step in range(steps):
-        output = smiler.predict()[1]
+        forecast = service.forecast("demo")
         truth = float(tail[step])
-        lines.append(f"{step:4d}   {output.mean:+8.4f}  {truth:+8.4f}")
-        smiler.observe(truth)
+        lines.append(
+            f"{step:4d}   {forecast.mean:+8.4f}  {truth:+8.4f}  "
+            f"{forecast.source}"
+        )
+        service.ingest("demo", truth)
     return "\n".join(lines)
 
 
 def _run_stats(
-    dataset: str, steps: int, predictor: str, fmt: str, backend: str
+    dataset: str, steps: int, predictor: str, fmt: str, backend: str,
+    fault_profile: str | None = None,
 ) -> str:
     """A short instrumented serving loop: last-request trace + metrics."""
     if steps <= 0:
@@ -207,7 +236,7 @@ def _run_stats(
     try:
         service = PredictionService(
             config=SMiLerConfig(predictor=predictor),
-            backends=make_backend(backend),
+            backends=make_backend(backend, fault_profile=fault_profile),
             min_history=min(256, history.values.size),
         )
         service.register("demo-sensor", history.values)
@@ -263,12 +292,15 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
     if args.command == "demo":
-        print(_run_demo(args.dataset, args.steps, args.predictor, args.backend))
+        print(_run_demo(
+            args.dataset, args.steps, args.predictor, args.backend,
+            args.fault_profile,
+        ))
         return 0
     if args.command == "stats":
         print(_run_stats(
             args.dataset, args.steps, args.predictor, args.format,
-            args.backend,
+            args.backend, args.fault_profile,
         ))
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -70,15 +70,9 @@ class SMiLer:
         self.sensor_id = sensor_id
         self.backend = as_backend(backend)
         history = np.asarray(history, dtype=np.float64)
-
-        search_config = SuffixSearchConfig(
-            item_lengths=self.config.effective_elv(),
-            k_max=self.config.k_max,
-            omega=self.config.omega,
-            rho=self.config.rho,
-            margin=self.config.margin,
+        self.engine = SuffixKnnEngine(
+            history, self._search_config(), backend=self.backend
         )
-        self.engine = SuffixKnnEngine(history, search_config, backend=self.backend)
 
         self._ensembles: dict[int, AdaptiveEnsemble] = {
             h: AdaptiveEnsemble(
@@ -96,6 +90,15 @@ class SMiLer:
         self._now = history.size
         self._answers: dict[int, SuffixKnnAnswer] | None = None
         self._answers_at = -1
+
+    def _search_config(self) -> SuffixSearchConfig:
+        return SuffixSearchConfig(
+            item_lengths=self.config.effective_elv(),
+            k_max=self.config.k_max,
+            omega=self.config.omega,
+            rho=self.config.rho,
+            margin=self.config.margin,
+        )
 
     # ---------------------------------------------------------------- state
     @property
@@ -170,6 +173,48 @@ class SMiLer:
                 self._remember(h, output)
         return outputs
 
+    def predict_reduced(self, horizon: int) -> GaussianPrediction:
+        """Cheapest single-cell prediction: the smallest ``(k, d)`` cell
+        through an :class:`AggregationPredictor`.
+
+        The serving layer's degradation ladder uses this as the rung below
+        the full ensemble: when the current step's kNN answers are already
+        cached (the common case after an ingest) it touches the backend
+        not at all, and it never trains a GP.  The ensemble's adaptive
+        state is untouched — reduced predictions are not auto-tuned.
+        """
+        if horizon not in self._ensembles:
+            raise KeyError(
+                f"horizon {horizon} not configured; available: "
+                f"{self.config.horizons}"
+            )
+        answers = self._current_answers()
+        cell = min(self.config.grid)
+        inputs = self._cell_inputs(answers, horizon, [cell])
+        return AggregationPredictor().predict(*inputs[cell])
+
+    def rebind(self, backend: ComputeBackend | None) -> "SMiLer":
+        """Move this sensor to another backend: rebuild the search index
+        from the accrued history, keep every ensemble's adaptive state.
+
+        The index is a deterministic function of the series and
+        configuration, so rebuilding (one vectorised pass) is the whole
+        migration; auto-tuned weights, sleep schedules, warm-started GP
+        hyperparameters and pending updates all survive untouched.
+        Returns ``self`` so failover paths can treat it as a builder.
+        """
+        backend = as_backend(backend)
+        series = np.array(self.engine.series, dtype=np.float64, copy=True)
+        # Build the new engine before touching any state, so a failed
+        # rebuild (e.g. a fault on the target backend) leaves this sensor
+        # consistently bound to its old backend.
+        engine = SuffixKnnEngine(series, self._search_config(), backend=backend)
+        self.backend = backend
+        self.engine = engine
+        self._answers = None
+        self._answers_at = -1
+        return self
+
     def _remember(self, horizon: int, output: EnsembleOutput) -> None:
         due = self._now - 1 + horizon
         queue = self._pending[horizon]
@@ -193,9 +238,19 @@ class SMiLer:
             if queue and queue[0].due_index == arrived:
                 update = queue.popleft()
                 self._ensembles[h].update(value, update.components)
-        self._answers = self.engine.step(value)
+        # Host-side append first: the reading is retained even when the
+        # follow-up search dies on a sick backend.  A failed search only
+        # leaves the kNN answers stale — invalidate them so the next
+        # predict (possibly after a rebind) re-searches.
+        self.engine.advance(value)
         self._now += 1
-        self._answers_at = self._now
+        try:
+            self._answers = self.engine.search()
+            self._answers_at = self._now
+        except Exception:
+            self._answers = None
+            self._answers_at = -1
+            raise
 
     # ------------------------------------------------------------- memory
     def memory_bytes(self) -> int:

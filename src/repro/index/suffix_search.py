@@ -150,12 +150,17 @@ class SuffixKnnEngine:
                 for d in self.config.item_lengths
             }
 
-    def step(self, new_point: float) -> dict[int, SuffixKnnAnswer]:
-        """Advance one continuous tick, then search with reuse."""
+    def advance(self, new_point: float) -> None:
+        """Append one new point and slide the master query (host-side
+        only — no backend work, so it cannot fail on a sick device)."""
         self.window_index.step(new_point)
         self._master_query = np.concatenate(
             [self._master_query[1:], [float(new_point)]]
         )
+
+    def step(self, new_point: float) -> dict[int, SuffixKnnAnswer]:
+        """Advance one continuous tick, then search with reuse."""
+        self.advance(new_point)
         return self.search()
 
     # -------------------------------------------------------------- helpers

@@ -36,7 +36,15 @@ __all__ = [
     "observe_window_reuse",
     "observe_forecast",
     "observe_gp_training",
+    "observe_fault_injected",
+    "observe_degraded_forecast",
+    "observe_backend_state",
+    "observe_breaker_transition",
+    "observe_evacuation",
 ]
+
+#: Numeric encoding of circuit-breaker states for the backend_state gauge.
+_BREAKER_STATE_CODES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
 
 #: Simulated-GPU-seconds buckets (kernel launches are micro- to
 #: milli-second scale under the cost model).
@@ -225,6 +233,73 @@ def observe_forecast(sensor_id: str, horizon: int, latency_s: float) -> None:
         "End-to-end forecast latency (wall-clock).",
         label_names=("sensor_id",),
     ).observe(latency_s, sensor_id=sensor_id)
+
+
+def observe_degraded_forecast(sensor_id: str, source: str) -> None:
+    """Record one forecast served below the full-ensemble rung."""
+    if not _enabled:
+        return
+    _registry.counter(
+        "smiler_forecast_degraded_total",
+        "Forecasts served by a degraded rung, by sensor and rung.",
+        label_names=("sensor_id", "source"),
+    ).inc(sensor_id=sensor_id, source=source)
+
+
+# -------------------------------------------------------------- resilience
+def observe_fault_injected(operation: str, kind: str) -> None:
+    """Record one injected backend fault (called by the fault layer)."""
+    if not _enabled:
+        return
+    _registry.counter(
+        "smiler_faults_injected_total",
+        "Faults injected by FaultInjectingBackend, by operation and kind.",
+        label_names=("operation", "kind"),
+    ).inc(operation=operation, kind=kind)
+
+
+def observe_backend_state(backend_index: int, state: str) -> None:
+    """Track one backend's circuit-breaker state (0=closed, 1=half_open,
+    2=open)."""
+    if not _enabled:
+        return
+    _registry.gauge(
+        "smiler_backend_state",
+        "Circuit-breaker state per backend: 0=closed, 1=half_open, 2=open.",
+        label_names=("backend",),
+    ).set(_BREAKER_STATE_CODES.get(state, -1.0), backend=backend_index)
+
+
+def observe_breaker_transition(
+    backend_index: int, old_state: str, new_state: str
+) -> None:
+    """Record one circuit-breaker transition as a counter and a span."""
+    if not _enabled:
+        return
+    _registry.counter(
+        "smiler_breaker_transitions_total",
+        "Circuit-breaker state transitions, by backend and edge.",
+        label_names=("backend", "from_state", "to_state"),
+    ).inc(backend=backend_index, from_state=old_state, to_state=new_state)
+    with _tracer.span("breaker_transition") as sp:
+        sp.attrs["backend"] = backend_index
+        sp.attrs["from_state"] = old_state
+        sp.attrs["to_state"] = new_state
+
+
+def observe_evacuation(backend_index: int, n_sensors: int) -> None:
+    """Record one backend evacuation and how many sensors it moved."""
+    if not _enabled:
+        return
+    _registry.counter(
+        "smiler_backend_evacuations_total",
+        "Backend evacuations triggered by health failover.",
+        label_names=("backend",),
+    ).inc(backend=backend_index)
+    _registry.counter(
+        "smiler_sensors_evacuated_total",
+        "Sensors re-admitted onto healthy backends by evacuations.",
+    ).inc(n_sensors)
 
 
 def observe_gp_training(iterations: int, converged: bool) -> None:

@@ -43,7 +43,8 @@ import numpy as np
 from scipy.special import erfinv
 
 from .backend.base import ComputeBackend
-from .backend.pool import BackendPool, Placement
+from .backend.pool import BackendPool, BreakerConfig, Placement
+from .baselines.autoregressive import fit_ar
 from .core.config import SMiLerConfig
 from .core.persistence import build_smiler, load_snapshot, save_smiler
 from .core.smiler import SMiLer
@@ -52,7 +53,14 @@ from .obs.exposition import to_json
 from .obs.tracing import Span
 from .timeseries.series import ZNormStats
 
-__all__ = ["Forecast", "PredictionService", "SnapshotCorruptionError"]
+__all__ = [
+    "Forecast",
+    "ForecastBatch",
+    "ForecastError",
+    "PredictionService",
+    "ResiliencePolicy",
+    "SnapshotCorruptionError",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -67,6 +75,46 @@ class SnapshotCorruptionError(RuntimeError):
     hand-edited archives); the message names the offending file."""
 
 
+class ForecastError(RuntimeError):
+    """Every rung of the degradation ladder failed for one sensor (only
+    reachable with a truncated :class:`ResiliencePolicy` ladder — the
+    ``naive`` rung never fails)."""
+
+
+#: The degradation ladder, best rung first (see ``docs/robustness.md``).
+DEGRADATION_LADDER = ("ensemble", "reduced", "ar", "naive")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How :meth:`PredictionService.forecast` behaves under failure.
+
+    ``attempts`` bounds the retries of the full-ensemble rung (transient
+    kernel faults usually pass on retry); after that the ladder descends:
+    ``reduced`` (single smallest ensemble cell, reusing cached kNN
+    answers), ``ar`` (host-side AR fit on recent history — no backend),
+    ``naive`` (last value — cannot fail).  ``failover`` lets a forecast
+    that trips a backend's circuit breaker evacuate that backend's
+    sensors onto healthy peers mid-request.
+    """
+
+    attempts: int = 2
+    ladder: tuple[str, ...] = DEGRADATION_LADDER
+    failover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.attempts <= 0:
+            raise ValueError(f"attempts must be positive, got {self.attempts}")
+        if not self.ladder:
+            raise ValueError("the degradation ladder must have at least one rung")
+        unknown = [r for r in self.ladder if r not in DEGRADATION_LADDER]
+        if unknown:
+            raise ValueError(
+                f"unknown ladder rungs {unknown}; available: "
+                f"{DEGRADATION_LADDER}"
+            )
+
+
 def _validate_sensor_id(sensor_id: str) -> str:
     if not isinstance(sensor_id, str) or not _SENSOR_ID_RE.fullmatch(sensor_id):
         raise ValueError(
@@ -78,7 +126,12 @@ def _validate_sensor_id(sensor_id: str) -> str:
 
 @dataclass(frozen=True)
 class Forecast:
-    """A raw-scale forecast for one sensor at one horizon."""
+    """A raw-scale forecast for one sensor at one horizon.
+
+    ``source`` names the degradation-ladder rung that produced it
+    (``"ensemble"`` is the full system); ``degraded`` is True for any
+    rung below the top.
+    """
 
     sensor_id: str
     horizon: int
@@ -87,6 +140,8 @@ class Forecast:
     interval_low: float
     interval_high: float
     level: float
+    source: str = "ensemble"
+    degraded: bool = False
 
     def as_dict(self) -> dict:
         """JSON-friendly record."""
@@ -97,7 +152,28 @@ class Forecast:
             "std": self.std,
             "interval": [self.interval_low, self.interval_high],
             "level": self.level,
+            "source": self.source,
+            "degraded": self.degraded,
         }
+
+
+class ForecastBatch(dict):
+    """``sensor_id -> Forecast`` mapping with a per-sensor error
+    side-channel.
+
+    Behaves exactly like the plain dict :meth:`PredictionService.forecast_all`
+    used to return; sensors whose forecast raised land in :attr:`errors`
+    (``sensor_id -> exception``) instead of silently sinking the rest of
+    the batch."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.errors: dict[str, Exception] = {}
+
+    @property
+    def ok(self) -> bool:
+        """True when every sensor produced a forecast."""
+        return not self.errors
 
 
 class PredictionService:
@@ -109,6 +185,8 @@ class PredictionService:
         backends: ComputeBackend | Iterable[object] | None = None,
         min_history: int = 256,
         normalize: bool = True,
+        resilience: ResiliencePolicy | None = None,
+        breaker: BreakerConfig | None = None,
     ) -> None:
         if min_history <= 0:
             raise ValueError(f"min_history must be positive, got {min_history}")
@@ -119,7 +197,8 @@ class PredictionService:
             backends = list(backends)
         else:
             backends = [backends]
-        self._pool = BackendPool(backends)
+        self._pool = BackendPool(backends, breaker=breaker)
+        self.resilience = resilience or ResiliencePolicy()
         self.min_history = min_history
         self.normalize = normalize
         self._sensors: dict[str, SMiLer] = {}
@@ -167,15 +246,80 @@ class PredictionService:
         placement = self._pool.allocate(estimate, label=sensor_id)
         try:
             smiler = build(self._pool.backend(placement))
-        except Exception:
-            self._pool.release(placement)
+            actual = smiler.memory_bytes()
+            if actual != placement.allocation.nbytes:
+                placement = self._pool.resize(placement, actual)
+        except Exception as error:
+            # A failed tight-fit resize re-handles the reservation; adopt
+            # the restored placement so the release below frees the right
+            # allocation.  The release itself is best-effort: a backend
+            # that just died mid-admission may refuse it.
+            placement = getattr(error, "placement", placement)
+            try:
+                self._pool.release(placement)
+            except Exception:
+                logger.debug(
+                    "could not release %r after failed admission of %s",
+                    placement, sensor_id, exc_info=True,
+                )
             raise
-        actual = smiler.memory_bytes()
-        if actual != placement.allocation.nbytes:
-            placement = self._pool.resize(placement, actual)
         self._sensors[sensor_id] = smiler
         self._placements[sensor_id] = placement
         return smiler
+
+    def evacuate(self, backend_index: int) -> list[str]:
+        """Move every sensor off one backend onto healthy peers.
+
+        The backend's circuit breaker is forced open first, so the
+        re-admissions (the same estimate-first path as :meth:`register`,
+        with the index rebuilt from each sensor's accrued history via
+        :meth:`SMiLer.rebind`) land elsewhere.  A sensor whose
+        re-admission fails keeps its old placement — it stays served by
+        the degradation ladder instead of vanishing.  Returns the ids of
+        the sensors that actually moved.
+        """
+        if not 0 <= backend_index < len(self._pool):
+            raise IndexError(
+                f"backend index {backend_index} out of range for a pool of "
+                f"{len(self._pool)}"
+            )
+        self._pool.mark_unhealthy(backend_index)
+        stranded = sorted(
+            sid for sid, placement in self._placements.items()
+            if placement.backend_index == backend_index
+        )
+        moved = []
+        for sensor_id in stranded:
+            old = self._placements[sensor_id]
+            smiler = self._sensors[sensor_id]
+            try:
+                self._admit(
+                    sensor_id,
+                    smiler.series.size,
+                    smiler.config,
+                    lambda backend, s=smiler: s.rebind(backend),
+                )
+            except Exception:
+                logger.warning(
+                    "evacuation of sensor %s from backend %d failed; it "
+                    "stays on the unhealthy backend (served degraded)",
+                    sensor_id, backend_index, exc_info=True,
+                )
+                continue
+            moved.append(sensor_id)
+            try:
+                self._pool.release(old)
+            except Exception:
+                logger.debug(
+                    "could not free %s on unhealthy backend %d",
+                    sensor_id, backend_index, exc_info=True,
+                )
+        logger.info(
+            "evacuated %d/%d sensors off backend %d",
+            len(moved), len(stranded), backend_index,
+        )
+        obs.observe_evacuation(backend_index, len(moved))
+        return moved
 
     # ------------------------------------------------------------ lifecycle
     def register(self, sensor_id: str, history: np.ndarray) -> None:
@@ -239,15 +383,46 @@ class PredictionService:
         return self._sensors[sensor_id]
 
     # --------------------------------------------------------------- serving
+    def _observe_resilient(self, sensor_id: str, value: float) -> None:
+        """Feed one validated raw reading; absorb backend failures.
+
+        ``SMiLer.observe`` appends the reading host-side *before* the
+        backend search, so a failure here never loses data — it only
+        leaves the sensor's kNN answers stale (the next forecast
+        re-searches, on a healthy backend after failover).  The failure
+        is charged to the hosting backend's breaker and, once it trips,
+        triggers the same evacuation as a failing forecast.
+        """
+        smiler = self._sensors[sensor_id]
+        z_value = self._norms[sensor_id].apply(np.array([value]))[0]
+        index = self._placements[sensor_id].backend_index
+        try:
+            smiler.observe(z_value)
+        except Exception as error:
+            self._pool.record_failure(index)
+            logger.warning(
+                "ingest search failed for sensor %s on backend %d "
+                "(reading retained, answers invalidated): %s",
+                sensor_id, index, error,
+            )
+            if (
+                self.resilience.failover
+                and len(self._pool) > 1
+                and self._pool.state(index) == "open"
+            ):
+                self.evacuate(index)
+        else:
+            self._pool.record_success(index)
+
     def ingest(self, sensor_id: str, value: float) -> None:
         """Feed one new raw reading (auto-tunes and advances the index)."""
-        smiler = self._require(sensor_id)
+        self._require(sensor_id)
         value = float(value)
         if not np.isfinite(value):
             raise ValueError(
                 f"non-finite reading for {sensor_id!r}; impute before ingest"
             )
-        smiler.observe(self._norms[sensor_id].apply(np.array([value]))[0])
+        self._observe_resilient(sensor_id, value)
 
     def ingest_many(self, readings: Mapping[str, float]) -> None:
         """Feed one batch of raw readings, one per sensor.
@@ -266,60 +441,201 @@ class PredictionService:
                 )
             checked[sensor_id] = value
         for sensor_id, value in checked.items():
-            self._sensors[sensor_id].observe(
-                self._norms[sensor_id].apply(np.array([value]))[0]
+            self._observe_resilient(sensor_id, value)
+
+    def _resolve_horizon(self, horizon: int | None) -> int:
+        if horizon is None:
+            return min(self.config.horizons)
+        if horizon <= 0:
+            # Explicit None-check above: `horizon or default` would
+            # silently remap a (buggy) horizon=0 to the default.
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if horizon not in self.config.horizons:
+            raise KeyError(
+                f"horizon {horizon} not configured; available: "
+                f"{self.config.horizons}"
             )
+        return horizon
+
+    @staticmethod
+    def _validate_prediction(mean: float, variance: float) -> None:
+        """A rung's output must be a usable Gaussian — NaN means or
+        non-positive/non-finite variances (a non-PSD GP fit, a corrupted
+        kernel) are failures, never served."""
+        if not np.isfinite(mean):
+            raise ValueError(f"non-finite predictive mean {mean!r}")
+        if not np.isfinite(variance) or variance <= 0.0:
+            raise ValueError(f"invalid predictive variance {variance!r}")
+
+    def _predict_resilient(
+        self, sensor_id: str, horizon: int
+    ) -> tuple[float, float, str]:
+        """Walk the degradation ladder; returns ``(mean, variance, source)``
+        in normalised space."""
+        policy = self.resilience
+        last_error: Exception | None = None
+        for rung in policy.ladder:
+            if rung == "ensemble":
+                budget = policy.attempts
+                evacuated: set[int] = set()
+                while budget > 0:
+                    budget -= 1
+                    smiler = self._sensors[sensor_id]
+                    index = self._placements[sensor_id].backend_index
+                    try:
+                        output = smiler.predict(horizon=horizon)[horizon]
+                        self._validate_prediction(output.mean, output.variance)
+                    except Exception as error:
+                        last_error = error
+                        self._pool.record_failure(index)
+                        logger.debug(
+                            "ensemble rung failed for %s on backend %d: %s",
+                            sensor_id, index, error,
+                        )
+                        if (
+                            policy.failover
+                            and len(self._pool) > 1
+                            and index not in evacuated
+                            and self._pool.state(index) == "open"
+                        ):
+                            self.evacuate(index)
+                            evacuated.add(index)
+                            # The sensor sits on a fresh backend now; give
+                            # the full rung a fresh chance there.
+                            budget = max(budget, policy.attempts)
+                        continue
+                    self._pool.record_success(index)
+                    return output.mean, output.variance, "ensemble"
+            elif rung == "reduced":
+                smiler = self._sensors[sensor_id]
+                try:
+                    prediction = smiler.predict_reduced(horizon)
+                    self._validate_prediction(
+                        prediction.mean, prediction.variance
+                    )
+                    return prediction.mean, prediction.variance, "reduced"
+                except Exception as error:
+                    last_error = error
+                    logger.debug(
+                        "reduced rung failed for %s: %s", sensor_id, error
+                    )
+            elif rung == "ar":
+                try:
+                    mean, variance = self._ar_fallback(sensor_id, horizon)
+                    self._validate_prediction(mean, variance)
+                    return mean, variance, "ar"
+                except Exception as error:
+                    last_error = error
+                    logger.debug("ar rung failed for %s: %s", sensor_id, error)
+            elif rung == "naive":
+                mean, variance = self._naive_fallback(sensor_id, horizon)
+                return mean, variance, "naive"
+        raise ForecastError(
+            f"every degradation rung {policy.ladder} failed for sensor "
+            f"{sensor_id!r}: {last_error}"
+        ) from last_error
+
+    def _ar_fallback(self, sensor_id: str, horizon: int) -> tuple[float, float]:
+        """Host-side AR(d) on the recent normalised history — no backend
+        involved, so it survives any compute-layer failure."""
+        series = np.asarray(self._sensors[sensor_id].series, dtype=np.float64)
+        tail = series[-512:]
+        order = min(min(self.config.elv), max(2, tail.size // 4))
+        model = fit_ar(tail, order)
+        return model.forecast(tail, horizon)
+
+    def _naive_fallback(self, sensor_id: str, horizon: int) -> tuple[float, float]:
+        """Last-value forecast with a random-walk variance; cannot fail."""
+        series = np.asarray(self._sensors[sensor_id].series, dtype=np.float64)
+        mean = float(series[-1])
+        diffs = np.diff(series[-65:])
+        variance = float(np.mean(diffs**2)) * horizon if diffs.size else 0.0
+        if not np.isfinite(variance) or variance <= 0.0:
+            variance = 1e-8
+        return mean, variance
 
     def forecast(
         self, sensor_id: str, horizon: int | None = None, level: float = 0.95
     ) -> Forecast:
-        """Raw-scale forecast with a central predictive interval."""
+        """Raw-scale forecast with a central predictive interval.
+
+        Failures descend the :class:`ResiliencePolicy` ladder instead of
+        propagating: transient kernel faults are retried, a tripped
+        backend is evacuated mid-request (when the pool has healthy
+        peers), and the served rung is visible on
+        :attr:`Forecast.source` / :attr:`Forecast.degraded` and in the
+        ``smiler_forecast_degraded_total`` metric.
+        """
         if not 0.0 < level < 1.0:
             raise ValueError(f"level must be in (0, 1), got {level}")
-        smiler = self._require(sensor_id)
-        if horizon is None:
-            horizon = min(self.config.horizons)
-        elif horizon <= 0:
-            # Explicit None-check above: `horizon or default` would
-            # silently remap a (buggy) horizon=0 to the default.
-            raise ValueError(f"horizon must be positive, got {horizon}")
+        self._require(sensor_id)
+        horizon = self._resolve_horizon(horizon)
         t0 = time.perf_counter()
-        with obs.span("forecast", smiler.backend) as sp:
+        with obs.span("forecast", self._sensors[sensor_id].backend) as sp:
             if sp is not None:
                 sp.attrs["sensor_id"] = sensor_id
                 sp.attrs["horizon"] = horizon
-            output = smiler.predict(horizon=horizon)[horizon]
+            z_mean, z_variance, source = self._predict_resilient(
+                sensor_id, horizon
+            )
+            if sp is not None:
+                sp.attrs["source"] = source
         if sp is not None:
             self._last_trace = sp
         obs.observe_forecast(sensor_id, horizon, time.perf_counter() - t0)
+        degraded = source != "ensemble"
+        if degraded:
+            obs.observe_degraded_forecast(sensor_id, source)
+            logger.info(
+                "sensor %s served degraded (%s rung) at horizon %d",
+                sensor_id, source, horizon,
+            )
         stats = self._norms[sensor_id]
-        mean = float(stats.invert(np.array([output.mean]))[0])
-        std = float(np.sqrt(stats.invert_variance(np.array([output.variance]))[0]))
+        mean = float(stats.invert(np.array([z_mean]))[0])
+        raw_variance = float(stats.invert_variance(np.array([z_variance]))[0])
+        # The rung validated z_variance > 0; de-normalisation scales by
+        # std^2 > 0, so this is a pure belt-and-braces clamp.
+        std = float(np.sqrt(max(raw_variance, 0.0)))
         z = float(np.sqrt(2.0) * erfinv(level))
         return Forecast(
             sensor_id=sensor_id, horizon=horizon, mean=mean, std=std,
             interval_low=mean - z * std, interval_high=mean + z * std,
-            level=level,
+            level=level, source=source, degraded=degraded,
         )
 
     def forecast_all(
         self, horizon: int | None = None, level: float = 0.95
-    ) -> dict[str, Forecast]:
+    ) -> ForecastBatch:
         """Forecasts for every registered sensor, grouped per backend.
 
         Sensors sharing a backend run back-to-back (good locality on a
         real device; on the simulated one it keeps each device's time
-        ledger contiguous); the returned dict is sorted by sensor id.
+        ledger contiguous); the returned mapping is sorted by sensor id.
+        One sensor's failure no longer aborts the batch: completed
+        forecasts are returned and the failure lands in
+        :attr:`ForecastBatch.errors`.
         """
+        if not 0.0 < level < 1.0:
+            raise ValueError(f"level must be in (0, 1), got {level}")
+        self._resolve_horizon(horizon)  # reject bad horizons up front
         by_backend: dict[int, list[str]] = {}
         for sensor_id in self.sensor_ids:
             index = self._placements[sensor_id].backend_index
             by_backend.setdefault(index, []).append(sensor_id)
         results: dict[str, Forecast] = {}
+        errors: dict[str, Exception] = {}
         for index in sorted(by_backend):
             for sensor_id in by_backend[index]:
-                results[sensor_id] = self.forecast(sensor_id, horizon, level)
-        return dict(sorted(results.items()))
+                try:
+                    results[sensor_id] = self.forecast(sensor_id, horizon, level)
+                except Exception as error:
+                    logger.warning(
+                        "forecast_all: sensor %s failed: %s", sensor_id, error
+                    )
+                    errors[sensor_id] = error
+        batch = ForecastBatch(sorted(results.items()))
+        batch.errors = errors
+        return batch
 
     # ------------------------------------------------------------ snapshots
     def snapshot(self, directory) -> list[pathlib.Path]:
@@ -364,7 +680,22 @@ class PredictionService:
         for path in sorted(directory.glob("*.npz")):
             if path.name == "_norms.npz":
                 continue
-            snapshot = load_snapshot(path)
+            try:
+                snapshot = load_snapshot(path)
+            except SnapshotCorruptionError:
+                raise
+            except Exception as error:
+                raise SnapshotCorruptionError(
+                    f"archive {path.name!r} cannot be parsed as a sensor "
+                    f"snapshot: {error}"
+                ) from error
+            series = np.asarray(snapshot.series)
+            if series.ndim != 1 or series.size == 0:
+                raise SnapshotCorruptionError(
+                    f"archive {path.name!r} holds a series of shape "
+                    f"{series.shape}; expected a non-empty 1-d array "
+                    "— hand-edited snapshot?"
+                )
             sensor_id = snapshot.sensor_id
             if not _SENSOR_ID_RE.fullmatch(sensor_id):
                 raise SnapshotCorruptionError(
@@ -420,6 +751,7 @@ class PredictionService:
                     "n_sensors": counts[i],
                     "allocated_bytes": backend.allocated_bytes,
                     "sim_seconds": backend.elapsed_s,
+                    "health": self._pool.health(i).as_dict(),
                 }
                 for i, backend in enumerate(self._pool.backends)
             ],

@@ -1,0 +1,405 @@
+"""Tests for the health-aware pool, failover and graceful degradation."""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.backend import (
+    BackendPool,
+    BreakerConfig,
+    GpuMemoryError,
+    NativeBackend,
+    SimulatedGpuBackend,
+)
+from repro.core import SMiLerConfig
+from repro.core.smiler import SMiLer
+from repro.faults import FaultInjectingBackend, FaultProfile
+from repro.service import ForecastError, PredictionService, ResiliencePolicy
+
+CONFIG = SMiLerConfig(
+    elv=(8, 16), ekv=(4, 8), rho=2, omega=4, horizons=(1, 3),
+    predictor="ar",
+)
+
+
+def raw_history(n=600, seed=0, scale=50.0, offset=200.0):
+    rng = np.random.default_rng(seed)
+    return offset + scale * (
+        np.sin(np.arange(n) / 9.0) + 0.05 * rng.normal(size=n)
+    )
+
+
+def make_service(**kwargs):
+    return PredictionService(CONFIG, min_history=100, **kwargs)
+
+
+class ExplodingMalloc(NativeBackend):
+    """Malloc fails with a non-capacity error (counts against health)."""
+
+    def malloc(self, nbytes, label="buffer"):
+        raise RuntimeError("hardware says no")
+
+
+class TestCircuitBreaker:
+    def make_pool(self, n=2, threshold=2, cooldown=3):
+        return BackendPool(
+            [NativeBackend() for _ in range(n)],
+            breaker=BreakerConfig(
+                failure_threshold=threshold, cooldown_ops=cooldown
+            ),
+        )
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerConfig(cooldown_ops=0)
+
+    def test_trips_at_threshold(self):
+        pool = self.make_pool()
+        pool.record_failure(0)
+        assert pool.state(0) == "closed"
+        pool.record_failure(0)
+        assert pool.state(0) == "open"
+        assert not pool.admits(0)
+        assert pool.healthy_indices() == [1]
+        assert pool.health(0).trips == 1
+
+    def test_success_resets_the_streak(self):
+        pool = self.make_pool()
+        pool.record_failure(0)
+        pool.record_success(0)
+        pool.record_failure(0)
+        assert pool.state(0) == "closed"
+
+    def test_cooldown_then_half_open_probe(self):
+        pool = self.make_pool()
+        pool.record_failure(0)
+        pool.record_failure(0)
+        assert pool.state(0) == "open"
+        for _ in range(3):  # cooldown_ops pool operations elsewhere
+            pool.record_success(1)
+        assert pool.state(0) == "half_open"
+        assert pool.admits(0)
+        pool.record_success(0)  # probe passes
+        assert pool.state(0) == "closed"
+
+    def test_half_open_probe_failure_retrips(self):
+        pool = self.make_pool()
+        pool.record_failure(0)
+        pool.record_failure(0)
+        for _ in range(3):
+            pool.record_success(1)
+        assert pool.state(0) == "half_open"
+        pool.record_failure(0)  # probe fails: straight back to open
+        assert pool.state(0) == "open"
+        assert pool.health(0).trips == 2
+
+    def test_mark_unhealthy_forces_open(self):
+        pool = self.make_pool()
+        pool.mark_unhealthy(0)
+        assert pool.state(0) == "open"
+
+    def test_allocate_skips_open_circuits(self):
+        pool = self.make_pool()
+        pool.mark_unhealthy(0)
+        placement = pool.allocate(64, "sensor")
+        assert placement.backend_index == 1
+
+    def test_allocate_fails_open_when_every_breaker_is_open(self):
+        pool = self.make_pool(n=1)
+        pool.mark_unhealthy(0)
+        placement = pool.allocate(64, "sensor")  # still served
+        assert placement.backend_index == 0
+
+    def test_capacity_refusal_is_not_a_health_failure(self):
+        pool = BackendPool(
+            [NativeBackend(capacity_bytes=100), NativeBackend()],
+            breaker=BreakerConfig(failure_threshold=1),
+        )
+        placement = pool.allocate(1000, "big")
+        assert placement.backend_index == 1
+        assert pool.state(0) == "closed"
+        assert pool.health(0).failures_total == 0
+
+    def test_malloc_exception_counts_against_health(self):
+        pool = BackendPool(
+            [ExplodingMalloc(), NativeBackend(capacity_bytes=10**6)],
+            breaker=BreakerConfig(failure_threshold=1),
+        )
+        # ExplodingMalloc has the most free bytes, so it is tried first.
+        placement = pool.allocate(64, "sensor")
+        assert placement.backend_index == 1
+        assert pool.state(0) == "open"
+
+
+class TestResizeAtomicity:
+    """Regression tests for the resize leak: a failed resize used to
+    free the old block and then lose it when the new malloc failed."""
+
+    def faulty_backend(self, burst):
+        return FaultInjectingBackend(
+            NativeBackend(capacity_bytes=1000),
+            FaultProfile(seed=0, malloc_error_rate=1.0, burst=burst),
+        )
+
+    def test_allocate_then_free_path_keeps_old_reservation(self):
+        # Ticks: allocate=0; roomy resize mallocs new first at tick 1.
+        backend = self.faulty_backend(burst=(1, 2))
+        pool = BackendPool([backend])
+        placement = pool.allocate(300, "sensor")
+        with pytest.raises(GpuMemoryError):
+            pool.resize(placement, 400)  # 400 <= 700 free: roomy path
+        assert backend.allocated_bytes == 300  # old block untouched
+        pool.release(placement)  # caller's handle still valid
+        assert backend.allocated_bytes == 0
+
+    def test_tight_path_restores_old_reservation(self):
+        # Ticks: allocate=0; tight resize frees at 1, mallocs at 2 (the
+        # injected failure); the restore malloc at tick 3 succeeds.
+        backend = self.faulty_backend(burst=(2, 3))
+        pool = BackendPool([backend])
+        placement = pool.allocate(600, "sensor")
+        with pytest.raises(GpuMemoryError) as excinfo:
+            pool.resize(placement, 700)  # 700 > 400 free: tight path
+        assert backend.allocated_bytes == 600  # reservation re-established
+        restored = excinfo.value.placement  # fresh handle rides the error
+        assert restored.allocation.nbytes == 600
+        pool.release(restored)
+        assert backend.allocated_bytes == 0
+
+    def test_growth_beyond_capacity_refused_up_front(self):
+        backend = NativeBackend(capacity_bytes=1000)
+        pool = BackendPool([backend])
+        placement = pool.allocate(600, "sensor")
+        with pytest.raises(GpuMemoryError):
+            pool.resize(placement, 1200)
+        assert backend.allocated_bytes == 600
+
+
+class TestDegradationLadder:
+    def test_healthy_service_serves_ensemble(self):
+        service = make_service()
+        service.register("s1", raw_history())
+        forecast = service.forecast("s1")
+        assert forecast.source == "ensemble"
+        assert not forecast.degraded
+
+    def test_reduced_rung_when_full_ensemble_fails(self, monkeypatch):
+        service = make_service()
+        service.register("s1", raw_history())
+
+        def broken_predict(self, horizon=None):
+            raise RuntimeError("ensemble mixer down")
+
+        monkeypatch.setattr(SMiLer, "predict", broken_predict)
+        forecast = service.forecast("s1")
+        assert forecast.source == "reduced"
+        assert forecast.degraded
+        assert np.isfinite(forecast.mean) and forecast.std > 0
+
+    def test_ar_rung_when_backend_is_dead(self):
+        backend = FaultInjectingBackend(
+            SimulatedGpuBackend(), FaultProfile(dies_at_tick=10**6)
+        )
+        service = make_service(backends=backend)
+        service.register("s1", raw_history())
+        backend.profile = FaultProfile(dies_at_tick=0)  # dies now
+        service.ingest("s1", 200.0)  # reading retained, answers stale
+        forecast = service.forecast("s1")  # every backend rung fails
+        assert forecast.source == "ar"
+        assert forecast.degraded
+        assert np.isfinite(forecast.mean) and forecast.std > 0
+
+    def test_naive_rung_cannot_fail(self):
+        service = make_service(resilience=ResiliencePolicy(ladder=("naive",)))
+        service.register("s1", raw_history())
+        forecast = service.forecast("s1")
+        assert forecast.source == "naive"
+        assert forecast.mean == pytest.approx(raw_history()[-1])
+        assert forecast.std > 0
+
+    def test_truncated_ladder_raises_forecast_error(self, monkeypatch):
+        service = make_service(
+            resilience=ResiliencePolicy(ladder=("ensemble",))
+        )
+        service.register("s1", raw_history())
+
+        def broken_predict(self, horizon=None):
+            raise RuntimeError("down")
+
+        monkeypatch.setattr(SMiLer, "predict", broken_predict)
+        with pytest.raises(ForecastError):
+            service.forecast("s1")
+
+    def test_nan_variance_never_served(self, monkeypatch):
+        """Satellite: a non-PSD GP fit (NaN/zero variance) must degrade or
+        raise, never reach the caller as a NaN interval."""
+        from types import SimpleNamespace
+
+        service = make_service(
+            resilience=ResiliencePolicy(ladder=("ensemble", "ar"))
+        )
+        service.register("s1", raw_history())
+
+        def nan_predict(self, horizon=None):
+            bad = SimpleNamespace(mean=0.1, variance=float("nan"))
+            return {h: bad for h in (self.config.horizons)}
+
+        monkeypatch.setattr(SMiLer, "predict", nan_predict)
+        forecast = service.forecast("s1")
+        assert forecast.source == "ar"
+        assert np.isfinite(forecast.std)
+
+        service2 = make_service(
+            resilience=ResiliencePolicy(ladder=("ensemble",))
+        )
+        service2.register("s1", raw_history())
+        monkeypatch.setattr(SMiLer, "predict", nan_predict)
+        with pytest.raises(ForecastError):
+            service2.forecast("s1")
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(attempts=0)
+        with pytest.raises(ValueError):
+            ResiliencePolicy(ladder=())
+        with pytest.raises(ValueError):
+            ResiliencePolicy(ladder=("ensemble", "prayer"))
+
+    def test_degraded_forecasts_are_counted(self):
+        obs.reset()
+        obs.enable()
+        try:
+            service = make_service(
+                resilience=ResiliencePolicy(ladder=("naive",))
+            )
+            service.register("s1", raw_history())
+            service.forecast("s1")
+            prom = obs.to_prometheus(obs.get_registry())
+        finally:
+            obs.disable()
+            obs.reset()
+        assert 'smiler_forecast_degraded_total{sensor_id="s1",source="naive"} 1' in prom
+
+
+class TestForecastAllPartialBatch:
+    def test_partial_batch_with_error_side_channel(self):
+        service = make_service(
+            resilience=ResiliencePolicy(ladder=("ensemble",))
+        )
+        service.register("good", raw_history())
+        service.register("bad", raw_history(seed=3))
+        smiler = service.sensor("bad")
+        smiler.predict = lambda horizon=None: (_ for _ in ()).throw(
+            RuntimeError("sensor-local meltdown")
+        )
+        batch = service.forecast_all()
+        assert set(batch) == {"good"}
+        assert not batch.ok
+        assert isinstance(batch.errors["bad"], ForecastError)
+        assert batch["good"].source == "ensemble"
+
+    def test_clean_batch_is_ok_and_dictlike(self):
+        service = make_service()
+        service.register("a", raw_history())
+        service.register("b", raw_history(seed=1))
+        batch = service.forecast_all()
+        assert batch.ok
+        assert sorted(batch) == ["a", "b"]
+        assert all(f.source == "ensemble" for f in batch.values())
+
+    def test_bad_horizon_still_raises_up_front(self):
+        service = make_service()
+        service.register("a", raw_history())
+        with pytest.raises(KeyError):
+            service.forecast_all(horizon=9)
+
+
+class TestFailover:
+    def test_dead_backend_evacuated_and_fleet_keeps_serving(self):
+        """The acceptance scenario: one of two backends dies mid-run; its
+        sensors are evacuated and every sensor keeps being served."""
+        dying = FaultInjectingBackend(
+            SimulatedGpuBackend(), FaultProfile(dies_at_tick=60)
+        )
+        healthy = SimulatedGpuBackend()
+        service = make_service(backends=[dying, healthy])
+        rng = np.random.default_rng(0)
+        for i in range(4):
+            service.register(f"s{i}", raw_history(seed=i))
+        assert service.sensors_per_backend() == [2, 2]
+
+        for step in range(12):
+            batch = service.forecast_all()
+            assert batch.ok, batch.errors  # nobody ever drops
+            assert len(batch) == 4
+            for sid in batch:
+                service.ingest(sid, 200.0 + float(rng.normal()))
+
+        assert service.sensors_per_backend() == [0, 4]  # evacuated
+        states = [b["health"]["state"] for b in service.status()["backends"]]
+        assert states[0] in ("open", "half_open")
+        assert states[1] == "closed"
+        # And the fleet is fully recovered: full-ensemble service resumes.
+        final = service.forecast_all()
+        assert all(f.source == "ensemble" for f in final.values())
+
+    def test_evacuate_moves_sensors_and_reports_them(self):
+        service = make_service(
+            backends=[SimulatedGpuBackend(), SimulatedGpuBackend()]
+        )
+        for i in range(4):
+            service.register(f"s{i}", raw_history(seed=i))
+        stranded = [
+            sid for sid in service.sensor_ids
+            if service.placement_of(sid) == 0
+        ]
+        moved = service.evacuate(0)
+        assert moved == sorted(stranded)
+        assert all(service.placement_of(sid) == 1 for sid in moved)
+        assert service.sensors_per_backend()[0] == 0
+        with pytest.raises(IndexError):
+            service.evacuate(7)
+
+    def test_evacuated_sensor_forecasts_match_fresh_build(self):
+        """Migration rebuilds the index from the accrued series, so the
+        moved sensor's forecast matches a never-moved twin."""
+        service = make_service(
+            backends=[SimulatedGpuBackend(), SimulatedGpuBackend()]
+        )
+        full = raw_history(n=620, seed=4)
+        service.register("s1", full[:600])
+        twin = make_service()
+        twin.register("s1", full[:600])
+        for value in full[600:610]:
+            service.ingest("s1", value)
+            twin.ingest("s1", value)
+        source_index = service.placement_of("s1")
+        service.evacuate(source_index)
+        assert service.placement_of("s1") == 1 - source_index
+        moved = service.forecast("s1")
+        fresh = twin.forecast("s1")
+        assert moved.source == fresh.source == "ensemble"
+        assert moved.mean == pytest.approx(fresh.mean, rel=1e-4)
+
+    def test_transient_burst_is_retried_bit_identically(self):
+        """One injected kernel fault below the breaker threshold: the
+        retry reruns the same kernels and serves bit-identical answers."""
+        def run(backend):
+            service = make_service(backends=backend)
+            service.register("s1", raw_history())
+            outs = []
+            for value in (201.0, 199.5, 202.3, 198.7):
+                forecast = service.forecast("s1")
+                outs.append((forecast.mean, forecast.std, forecast.source))
+                service.ingest("s1", value)
+            return outs
+
+        clean = run(SimulatedGpuBackend())
+        faulty = run(FaultInjectingBackend(
+            SimulatedGpuBackend(),
+            FaultProfile(seed=0, kernel_error_rate=1.0, burst=(8, 9)),
+        ))
+        assert all(source == "ensemble" for _, _, source in faulty)
+        assert faulty == clean

@@ -264,6 +264,41 @@ class TestSnapshotRestore:
         with pytest.raises(SnapshotCorruptionError, match="s1.npz"):
             make_service().restore(tmp_path)
 
+    def test_restore_missing_norm_entry_names_the_file(self, tmp_path):
+        """A ``_norms.npz`` missing one of a sensor's two stats (mean
+        present, std gone — a partially hand-edited archive) is
+        corruption, not a KeyError at forecast time."""
+        service = make_service()
+        service.register("s1", raw_history())
+        service.snapshot(tmp_path)
+        with np.load(tmp_path / "_norms.npz") as archive:
+            norms = {name: archive[name] for name in archive.files}
+        del norms["s1_std"]
+        np.savez(tmp_path / "_norms.npz", **norms)
+        with pytest.raises(SnapshotCorruptionError, match="s1.npz"):
+            make_service().restore(tmp_path)
+
+    def test_restore_rejects_hand_edited_series_shape(self, tmp_path):
+        service = make_service()
+        service.register("s1", raw_history())
+        service.snapshot(tmp_path)
+        with np.load(tmp_path / "s1.npz") as archive:
+            data = {name: archive[name] for name in archive.files}
+        data["series"] = data["series"].reshape(2, -1)
+        np.savez(tmp_path / "s1.npz", **data)
+        with pytest.raises(SnapshotCorruptionError, match="s1.npz"):
+            make_service().restore(tmp_path)
+
+    def test_restore_unparseable_archive_names_the_file(self, tmp_path):
+        """Any npz that is not a sensor snapshot (here: missing keys) is
+        reported as corruption with the offending filename."""
+        service = make_service()
+        service.register("s1", raw_history())
+        service.snapshot(tmp_path)
+        np.savez(tmp_path / "junk.npz", noise=np.arange(4))
+        with pytest.raises(SnapshotCorruptionError, match="junk.npz"):
+            make_service().restore(tmp_path)
+
 
 class TestIngestMany:
     def test_batch_advances_every_sensor(self):
