@@ -34,7 +34,7 @@ from . import (
     timeseries,
 )
 from .core import SensorFleet, SMiLer, SMiLerConfig
-from .service import Forecast, PredictionService
+from .service import Forecast, PredictionService, ServiceConfig
 
 __all__ = [
     "SMiLer",
@@ -42,6 +42,7 @@ __all__ = [
     "SensorFleet",
     "Forecast",
     "PredictionService",
+    "ServiceConfig",
     "backend",
     "baselines",
     "core",

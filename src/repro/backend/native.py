@@ -6,9 +6,16 @@ k-selection), but no simulated time is attributed and no abstract-op
 arithmetic runs — ``launch`` is a constant-time no-op.  Memory is a
 host-side ledger with an optional capacity so a pool of native workers
 can still shard sensors by free space and refuse admission.
+
+The ledger is guarded by a per-backend lock so concurrent serving lanes
+(and mid-request failover admissions) never lose a malloc/free update;
+the kernels themselves are pure functions of their arguments and need no
+serialization beyond what NumPy provides.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -37,6 +44,7 @@ class NativeBackend:
         self._allocated = 0
         self._serial = 0
         self._live: dict[int, Allocation] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------- kernels
     def dtw_verification(
@@ -105,23 +113,25 @@ class NativeBackend:
         nbytes = int(nbytes)
         if nbytes < 0:
             raise ValueError(f"allocation size must be non-negative, got {nbytes}")
-        if self._allocated + nbytes > self._capacity:
-            raise GpuMemoryError(
-                f"cannot allocate {nbytes} bytes for {label!r}: "
-                f"{self._allocated} of {self._capacity} bytes in use"
-            )
-        self._serial += 1
-        handle = Allocation(label=label, nbytes=nbytes, serial=self._serial)
-        self._live[handle.serial] = handle
-        self._allocated += nbytes
-        return handle
+        with self._lock:
+            if self._allocated + nbytes > self._capacity:
+                raise GpuMemoryError(
+                    f"cannot allocate {nbytes} bytes for {label!r}: "
+                    f"{self._allocated} of {self._capacity} bytes in use"
+                )
+            self._serial += 1
+            handle = Allocation(label=label, nbytes=nbytes, serial=self._serial)
+            self._live[handle.serial] = handle
+            self._allocated += nbytes
+            return handle
 
     def free(self, handle: Allocation) -> None:
         """Release a previous allocation (double frees are errors)."""
-        if handle.serial not in self._live:
-            raise KeyError(f"allocation {handle} is not live")
-        del self._live[handle.serial]
-        self._allocated -= handle.nbytes
+        with self._lock:
+            if handle.serial not in self._live:
+                raise KeyError(f"allocation {handle} is not live")
+            del self._live[handle.serial]
+            self._allocated -= handle.nbytes
 
     @property
     def allocated_bytes(self) -> int:

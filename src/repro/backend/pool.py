@@ -25,11 +25,20 @@ trying all backends anyway — a fully-degraded pool should still attempt
 to serve rather than refuse outright.  Breakers gate placement only;
 callers (the serving layer) decide when a forecast failure counts
 against a backend via :meth:`record_failure` / :meth:`record_success`.
+
+Thread safety: one re-entrant lock guards the operation counter, every
+health record and every placement/ledger mutation, so concurrent serving
+lanes (see :class:`~repro.service.ServiceConfig`) can record outcomes
+and trigger failover placements without losing updates.  Reads that must
+be atomic (``status()`` surfaces) go through :meth:`health_dict`;
+:meth:`health` still hands out the live record for single-threaded
+callers and tests.
 """
 
 from __future__ import annotations
 
 import logging
+import threading
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -115,6 +124,7 @@ class BackendPool:
         self.breaker = breaker or BreakerConfig()
         self._health = [BackendHealth() for _ in self.backends]
         self._op = 0
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self.backends)
@@ -125,9 +135,20 @@ class BackendPool:
 
     # -------------------------------------------------------------- health
     def health(self, index: int) -> BackendHealth:
-        """The live health record of one backend (advances cooldowns)."""
-        self._maybe_half_open(index)
-        return self._health[index]
+        """The live health record of one backend (advances cooldowns).
+
+        The returned record is mutable and shared; use :meth:`health_dict`
+        when you need a point-in-time snapshot under concurrency.
+        """
+        with self._lock:
+            self._maybe_half_open(index)
+            return self._health[index]
+
+    def health_dict(self, index: int) -> dict:
+        """Atomic JSON snapshot of one backend's health record."""
+        with self._lock:
+            self._maybe_half_open(index)
+            return self._health[index].as_dict()
 
     def state(self, index: int) -> str:
         """Breaker state of one backend: closed, open or half_open."""
@@ -139,42 +160,46 @@ class BackendPool:
 
     def healthy_indices(self) -> list[int]:
         """Backends placement may currently use."""
-        return [i for i in range(len(self.backends)) if self.admits(i)]
+        with self._lock:
+            return [i for i in range(len(self.backends)) if self.admits(i)]
 
     def record_success(self, index: int) -> None:
         """One successful operation: reset the failure streak; a probe
         success closes the breaker."""
-        self._op += 1
-        health = self._health[index]
-        health.consecutive_failures = 0
-        health.successes_total += 1
-        if health.state != _CLOSED:
-            self._transition(index, _CLOSED)
+        with self._lock:
+            self._op += 1
+            health = self._health[index]
+            health.consecutive_failures = 0
+            health.successes_total += 1
+            if health.state != _CLOSED:
+                self._transition(index, _CLOSED)
 
     def record_failure(self, index: int) -> None:
         """One failed operation: extend the streak; trip at the threshold,
         and re-trip instantly from half_open (the probe failed)."""
-        self._op += 1
-        health = self._health[index]
-        health.failures_total += 1
-        health.consecutive_failures += 1
-        if health.state == _HALF_OPEN:
-            self._transition(index, _OPEN)
-        elif (
-            health.state == _CLOSED
-            and health.consecutive_failures >= self.breaker.failure_threshold
-        ):
-            self._transition(index, _OPEN)
+        with self._lock:
+            self._op += 1
+            health = self._health[index]
+            health.failures_total += 1
+            health.consecutive_failures += 1
+            if health.state == _HALF_OPEN:
+                self._transition(index, _OPEN)
+            elif (
+                health.state == _CLOSED
+                and health.consecutive_failures >= self.breaker.failure_threshold
+            ):
+                self._transition(index, _OPEN)
 
     def mark_unhealthy(self, index: int) -> None:
         """Force a backend's breaker open (operator or failover decision)."""
-        self._op += 1
-        health = self._health[index]
-        health.consecutive_failures = max(
-            health.consecutive_failures, self.breaker.failure_threshold
-        )
-        if health.state != _OPEN:
-            self._transition(index, _OPEN)
+        with self._lock:
+            self._op += 1
+            health = self._health[index]
+            health.consecutive_failures = max(
+                health.consecutive_failures, self.breaker.failure_threshold
+            )
+            if health.state != _OPEN:
+                self._transition(index, _OPEN)
 
     def _maybe_half_open(self, index: int) -> None:
         health = self._health[index]
@@ -213,6 +238,10 @@ class BackendPool:
         against the backend's breaker.  Exhausting every candidate raises
         :class:`GpuMemoryError`.
         """
+        with self._lock:
+            return self._allocate_locked(nbytes, label)
+
+    def _allocate_locked(self, nbytes: int, label: str) -> Placement:
         self._op += 1
         order = sorted(
             range(len(self.backends)),
@@ -259,6 +288,10 @@ class BackendPool:
         ``placement`` attribute (the byte count is preserved, the
         allocation serial is not).
         """
+        with self._lock:
+            return self._resize_locked(placement, nbytes)
+
+    def _resize_locked(self, placement: Placement, nbytes: int) -> Placement:
         backend = self.backend(placement)
         old = placement.allocation
         if nbytes - old.nbytes > backend.free_bytes:
@@ -291,13 +324,15 @@ class BackendPool:
 
     def release(self, placement: Placement) -> None:
         """Free a previous reservation."""
-        self.backend(placement).free(placement.allocation)
+        with self._lock:
+            self.backend(placement).free(placement.allocation)
 
     # ---------------------------------------------------------- aggregates
     @property
     def allocated_bytes(self) -> int:
         """Bytes reserved across the whole pool."""
-        return sum(b.allocated_bytes for b in self.backends)
+        with self._lock:
+            return sum(b.allocated_bytes for b in self.backends)
 
     @property
     def elapsed_s(self) -> float:
@@ -306,5 +341,6 @@ class BackendPool:
 
     def reset_time(self) -> None:
         """Zero every backend's simulated-time ledger."""
-        for backend in self.backends:
-            backend.reset_time()
+        with self._lock:
+            for backend in self.backends:
+                backend.reset_time()

@@ -6,9 +6,18 @@ accounting + the 6 GB malloc ledger of the paper's GTX TITAN) behind the
 :class:`~repro.backend.base.ComputeBackend` protocol.  This is the
 default backend and the one every paper figure/table runs on — the
 simulated-seconds ledger *is* the measurement.
+
+A per-backend re-entrant lock serializes kernel dispatch, cost-model
+time attribution and the malloc/free ledger, so a backend shared across
+serving lanes (mid-request failover builds an index on a peer backend
+while that peer's own lane is running) never loses a time or memory
+update.  Within one lane operations are already serial, so the lock is
+uncontended on the happy path.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -30,21 +39,25 @@ class SimulatedGpuBackend:
         if device is not None and spec is not None:
             raise ValueError("pass either a device or a spec, not both")
         self.device = device if device is not None else GpuDevice(spec)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------- kernels
     def dtw_verification(
         self, query: np.ndarray, candidates: np.ndarray, rho: int
     ) -> np.ndarray:
         """Banded DTW via the compressed-warping-matrix kernel."""
-        return dtw_verification_kernel(self.device, query, candidates, rho)
+        with self._lock:
+            return dtw_verification_kernel(self.device, query, candidates, rho)
 
     def full_dtw(self, query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
         """Unbanded DTW paying the global-memory penalty (GPUScan)."""
-        return full_dtw_kernel(self.device, query, candidates)
+        with self._lock:
+            return full_dtw_kernel(self.device, query, candidates)
 
     def k_select(self, values: np.ndarray, k: int) -> np.ndarray:
         """Device k-selection by distributive partitioning."""
-        return k_select_kernel(self.device, values, k)
+        with self._lock:
+            return k_select_kernel(self.device, values, k)
 
     def launch(
         self,
@@ -54,7 +67,10 @@ class SimulatedGpuBackend:
         threads_per_block: int = 256,
     ) -> float:
         """Account one kernel launch on the cost model."""
-        return self.device.launch(name, n_blocks, ops_per_thread, threads_per_block)
+        with self._lock:
+            return self.device.launch(
+                name, n_blocks, ops_per_thread, threads_per_block
+            )
 
     # ---------------------------------------------------------------- time
     @property
@@ -64,7 +80,8 @@ class SimulatedGpuBackend:
 
     def reset_time(self) -> None:
         """Zero the simulated-time ledger."""
-        self.device.reset_time()
+        with self._lock:
+            self.device.reset_time()
 
     @property
     def cost(self) -> GpuCostModel:
@@ -79,11 +96,13 @@ class SimulatedGpuBackend:
     # -------------------------------------------------------------- memory
     def malloc(self, nbytes: int, label: str = "buffer") -> Allocation:
         """Reserve device global memory (bounded by the spec's capacity)."""
-        return self.device.malloc(nbytes, label)
+        with self._lock:
+            return self.device.malloc(nbytes, label)
 
     def free(self, handle: Allocation) -> None:
         """Release a previous allocation."""
-        self.device.free(handle)
+        with self._lock:
+            self.device.free(handle)
 
     @property
     def allocated_bytes(self) -> int:

@@ -36,7 +36,7 @@ from .backend import BACKEND_NAMES, make_backend
 from .faults import FAULT_PROFILE_NAMES
 from .core import SMiLerConfig
 from .harness import AccuracyScale, SearchScale
-from .service import PredictionService
+from .service import PredictionService, ServiceConfig
 from .timeseries import make_dataset
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -134,6 +134,12 @@ def _build_parser() -> argparse.ArgumentParser:
         f"profile ({', '.join(FAULT_PROFILE_NAMES)}) or a key=value spec "
         "(see docs/robustness.md)",
     )
+    demo.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="serving thread-pool lanes (one per backend shard; default: "
+        "REPRO_MAX_WORKERS, else sequential) — results are bit-identical "
+        "at any worker count",
+    )
 
     stats = sub.add_parser(
         "stats", help="short instrumented serving loop: trace + metrics"
@@ -156,6 +162,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="wrap the backend in deterministic fault injection: a named "
         f"profile ({', '.join(FAULT_PROFILE_NAMES)}) or a key=value spec "
         "(see docs/robustness.md)",
+    )
+    stats.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="serving thread-pool lanes (one per backend shard; default: "
+        "REPRO_MAX_WORKERS, else sequential)",
     )
     return parser
 
@@ -189,7 +200,7 @@ def _run_experiment(
 
 def _run_demo(
     dataset: str, steps: int, predictor: str, backend: str,
-    fault_profile: str | None = None,
+    fault_profile: str | None = None, workers: int | None = None,
 ) -> str:
     if steps <= 0:
         raise SystemExit("--steps must be positive")
@@ -203,6 +214,7 @@ def _run_demo(
         config=SMiLerConfig(predictor=predictor),
         backends=make_backend(backend, fault_profile=fault_profile),
         normalize=False,
+        service_config=ServiceConfig(max_workers=workers),
     )
     service.register("demo", history.values)
     lines = [f"{dataset.upper()} sensor, SMiLer-{predictor.upper()} "
@@ -221,7 +233,7 @@ def _run_demo(
 
 def _run_stats(
     dataset: str, steps: int, predictor: str, fmt: str, backend: str,
-    fault_profile: str | None = None,
+    fault_profile: str | None = None, workers: int | None = None,
 ) -> str:
     """A short instrumented serving loop: last-request trace + metrics."""
     if steps <= 0:
@@ -238,6 +250,7 @@ def _run_stats(
             config=SMiLerConfig(predictor=predictor),
             backends=make_backend(backend, fault_profile=fault_profile),
             min_history=min(256, history.values.size),
+            service_config=ServiceConfig(max_workers=workers),
         )
         service.register("demo-sensor", history.values)
         service.forecast("demo-sensor")
@@ -294,13 +307,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "demo":
         print(_run_demo(
             args.dataset, args.steps, args.predictor, args.backend,
-            args.fault_profile,
+            args.fault_profile, args.workers,
         ))
         return 0
     if args.command == "stats":
         print(_run_stats(
             args.dataset, args.steps, args.predictor, args.format,
-            args.backend, args.fault_profile,
+            args.backend, args.fault_profile, args.workers,
         ))
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

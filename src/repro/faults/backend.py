@@ -15,11 +15,19 @@ reports ``simulated``) and unknown attributes (``device``, ``spec``,
 one seeded RNG stream in operation order, so identical workloads under
 identical profiles fail identically — the whole point of a fault model
 you can write regression tests against.
+
+Each wrapper owns a re-entrant lock held for the whole of every wrapped
+operation, making the (tick, RNG draw, inner call, corruption draw)
+tuple atomic: concurrent serving lanes can never tear the operation-tick
+counter or interleave two operations' RNG draws.  Determinism then needs
+only what the serving layer already guarantees — that each backend sees
+its operations in a fixed order (one lane per backend shard).
 """
 
 from __future__ import annotations
 
 import logging
+import threading
 
 import numpy as np
 
@@ -60,6 +68,7 @@ class FaultInjectingBackend:
         self._rng = np.random.default_rng(profile.seed)
         self._tick = 0
         self._injected_s = 0.0
+        self._lock = threading.RLock()
         #: Injection counts by kind, for tests and diagnostics.
         self.injected: dict[str, int] = {
             "kernel_error": 0, "kernel_nan": 0, "malloc_error": 0,
@@ -125,20 +134,23 @@ class FaultInjectingBackend:
         self, query: np.ndarray, candidates: np.ndarray, rho: int
     ) -> np.ndarray:
         """Banded DTW, possibly failing or NaN-corrupted per the profile."""
-        tick = self._kernel_preamble("dtw_verification")
-        out = self.inner.dtw_verification(query, candidates, rho)
-        return self._maybe_corrupt("dtw_verification", tick, out)
+        with self._lock:
+            tick = self._kernel_preamble("dtw_verification")
+            out = self.inner.dtw_verification(query, candidates, rho)
+            return self._maybe_corrupt("dtw_verification", tick, out)
 
     def full_dtw(self, query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
         """Unbanded DTW, possibly failing or NaN-corrupted per the profile."""
-        tick = self._kernel_preamble("full_dtw")
-        out = self.inner.full_dtw(query, candidates)
-        return self._maybe_corrupt("full_dtw", tick, out)
+        with self._lock:
+            tick = self._kernel_preamble("full_dtw")
+            out = self.inner.full_dtw(query, candidates)
+            return self._maybe_corrupt("full_dtw", tick, out)
 
     def k_select(self, values: np.ndarray, k: int) -> np.ndarray:
         """Device k-selection (indices are never NaN-corrupted)."""
-        self._kernel_preamble("k_select")
-        return self.inner.k_select(values, k)
+        with self._lock:
+            self._kernel_preamble("k_select")
+            return self.inner.k_select(values, k)
 
     def launch(
         self,
@@ -158,26 +170,29 @@ class FaultInjectingBackend:
 
     def reset_time(self) -> None:
         """Zero both the inner ledger and the injected-latency ledger."""
-        self.inner.reset_time()
-        self._injected_s = 0.0
+        with self._lock:
+            self.inner.reset_time()
+            self._injected_s = 0.0
 
     # -------------------------------------------------------------- memory
     def malloc(self, nbytes: int, label: str = "buffer") -> Allocation:
         """Reserve inner memory, unless the profile fails this malloc."""
-        tick = self._begin_op("malloc")
-        if self._roll(self.profile.malloc_error_rate, tick):
-            self.injected["malloc_error"] += 1
-            obs.observe_fault_injected("malloc", "malloc_error")
-            raise GpuMemoryError(
-                f"injected malloc failure for {label!r} at tick {tick} "
-                f"({self.name!r} backend)"
-            )
-        return self.inner.malloc(nbytes, label)
+        with self._lock:
+            tick = self._begin_op("malloc")
+            if self._roll(self.profile.malloc_error_rate, tick):
+                self.injected["malloc_error"] += 1
+                obs.observe_fault_injected("malloc", "malloc_error")
+                raise GpuMemoryError(
+                    f"injected malloc failure for {label!r} at tick {tick} "
+                    f"({self.name!r} backend)"
+                )
+            return self.inner.malloc(nbytes, label)
 
     def free(self, handle: Allocation) -> None:
         """Release inner memory (fails only once the backend is dead)."""
-        self._begin_op("free")
-        self.inner.free(handle)
+        with self._lock:
+            self._begin_op("free")
+            self.inner.free(handle)
 
     @property
     def allocated_bytes(self) -> int:

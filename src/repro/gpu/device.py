@@ -12,6 +12,7 @@ data-parallel shape of a CUDA grid); the device records
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..obs.hooks import observe_gpu_memory
@@ -42,6 +43,10 @@ class GpuDevice:
         self._allocated = 0
         self._serial = 0
         self._live: dict[int, Allocation] = {}
+        # Serializes the malloc/free ledger: several SimulatedGpuBackend
+        # wrappers may share one device (``as_backend(device)``), so the
+        # wrapper-level locks alone cannot protect the serial counter.
+        self._mem_lock = threading.RLock()
 
     # ------------------------------------------------------------- kernels
     def launch(
@@ -69,25 +74,27 @@ class GpuDevice:
         nbytes = int(nbytes)
         if nbytes < 0:
             raise ValueError(f"allocation size must be non-negative, got {nbytes}")
-        if self._allocated + nbytes > self.spec.memory_bytes:
-            raise GpuMemoryError(
-                f"cannot allocate {nbytes} bytes for {label!r}: "
-                f"{self._allocated} of {self.spec.memory_bytes} bytes in use"
-            )
-        self._serial += 1
-        handle = Allocation(label=label, nbytes=nbytes, serial=self._serial)
-        self._live[handle.serial] = handle
-        self._allocated += nbytes
-        observe_gpu_memory(self._allocated)
-        return handle
+        with self._mem_lock:
+            if self._allocated + nbytes > self.spec.memory_bytes:
+                raise GpuMemoryError(
+                    f"cannot allocate {nbytes} bytes for {label!r}: "
+                    f"{self._allocated} of {self.spec.memory_bytes} bytes in use"
+                )
+            self._serial += 1
+            handle = Allocation(label=label, nbytes=nbytes, serial=self._serial)
+            self._live[handle.serial] = handle
+            self._allocated += nbytes
+            observe_gpu_memory(self._allocated)
+            return handle
 
     def free(self, handle: Allocation) -> None:
         """Release a previous allocation (idempotent frees are errors)."""
-        if handle.serial not in self._live:
-            raise KeyError(f"allocation {handle} is not live")
-        del self._live[handle.serial]
-        self._allocated -= handle.nbytes
-        observe_gpu_memory(self._allocated)
+        with self._mem_lock:
+            if handle.serial not in self._live:
+                raise KeyError(f"allocation {handle} is not live")
+            del self._live[handle.serial]
+            self._allocated -= handle.nbytes
+            observe_gpu_memory(self._allocated)
 
     @property
     def allocated_bytes(self) -> int:

@@ -107,10 +107,17 @@ class Span:
 
 
 class Tracer:
-    """Thread-local span stack + last-completed-root retention."""
+    """Thread-local span stack + last-completed-root retention.
+
+    Every thread nests spans on its own stack, so concurrent serving
+    lanes each build their own tree and never parent a span under
+    another thread's open span.  ``last_root`` is process-wide — under
+    concurrency it is whichever root completed last (its write is
+    lock-guarded, so the reference is always a *complete* tree)."""
 
     def __init__(self) -> None:
         self._local = threading.local()
+        self._root_lock = threading.Lock()
         self.last_root: Span | None = None
 
     def _stack(self) -> list[Span]:
@@ -142,11 +149,17 @@ class Tracer:
             if top is span:
                 break
         if not stack:
-            self.last_root = span
+            with self._root_lock:
+                self.last_root = span
 
     def reset(self) -> None:
-        """Forget the retained root and this thread's open stack."""
-        self.last_root = None
+        """Forget the retained root and this thread's open stack.
+
+        Other threads' open stacks are untouched (they are thread-local
+        by design); callers resetting between experiments should do so
+        from a quiesced state."""
+        with self._root_lock:
+            self.last_root = None
         self._local.stack = []
 
 

@@ -24,18 +24,28 @@ sensor's memory first and routes through the pool's one greedy
 placement policy, so an index is only ever built once, on the backend
 that will host it.
 
-The service is synchronous and single-threaded by design (SMiLer's step
-cost is milliseconds; a sensor fleet at 5-10 minute sampling needs no
-concurrency) — callers that want parallelism shard sensors across
-processes exactly as the paper shards them across GPUs.
+Serving is sequential by default.  Opt into intra-process concurrency
+with :class:`ServiceConfig` (``max_workers=``, the ``REPRO_MAX_WORKERS``
+environment variable, or the CLI's ``--workers``): ``forecast_all`` and
+``ingest_many`` then fan out over a thread pool with **one worker lane
+per backend shard**.  Each lane walks its own backend's sensors in the
+same order the sequential path would, so per-backend kernel streams,
+simulated-time ledgers and fault-injection tick sequences are identical
+— concurrent results are bit-identical to sequential ones (same
+:class:`Forecast` floats, same :attr:`ForecastBatch.errors`), pinned by
+``tests/test_concurrency.py``.  The threading model (what is locked,
+what is lock-free) is documented in ``docs/architecture.md``.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import pathlib
 import re
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
@@ -59,7 +69,9 @@ __all__ = [
     "ForecastError",
     "PredictionService",
     "ResiliencePolicy",
+    "ServiceConfig",
     "SnapshotCorruptionError",
+    "WORKERS_ENV_VAR",
 ]
 
 logger = logging.getLogger(__name__)
@@ -83,6 +95,53 @@ class ForecastError(RuntimeError):
 
 #: The degradation ladder, best rung first (see ``docs/robustness.md``).
 DEGRADATION_LADDER = ("ensemble", "reduced", "ar", "naive")
+
+#: Environment variable supplying the default worker-lane count when
+#: :attr:`ServiceConfig.max_workers` is left unset (sequential when both
+#: are absent).
+WORKERS_ENV_VAR = "REPRO_MAX_WORKERS"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving-layer tuning, distinct from the per-sensor
+    :class:`~repro.core.config.SMiLerConfig`.
+
+    ``max_workers`` bounds the thread-pool lanes ``forecast_all`` /
+    ``ingest_many`` fan out over.  Work is sharded one lane per backend,
+    so lanes beyond the pool size sit idle; ``1`` (the default) keeps
+    the exact sequential code path.  ``None`` defers to the
+    ``REPRO_MAX_WORKERS`` environment variable, read once at service
+    construction.
+    """
+
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError(
+                f"max_workers must be positive, got {self.max_workers}"
+            )
+
+    def resolved_workers(self) -> int:
+        """The effective lane count: explicit value, else environment,
+        else 1 (sequential)."""
+        if self.max_workers is not None:
+            return self.max_workers
+        raw = os.environ.get(WORKERS_ENV_VAR)
+        if raw is None or not raw.strip():
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR}={raw!r} is not an integer"
+            ) from None
+        if workers <= 0:
+            raise ValueError(
+                f"{WORKERS_ENV_VAR} must be positive, got {workers}"
+            )
+        return workers
 
 
 @dataclass(frozen=True)
@@ -187,6 +246,7 @@ class PredictionService:
         normalize: bool = True,
         resilience: ResiliencePolicy | None = None,
         breaker: BreakerConfig | None = None,
+        service_config: ServiceConfig | None = None,
     ) -> None:
         if min_history <= 0:
             raise ValueError(f"min_history must be positive, got {min_history}")
@@ -199,12 +259,20 @@ class PredictionService:
             backends = [backends]
         self._pool = BackendPool(backends, breaker=breaker)
         self.resilience = resilience or ResiliencePolicy()
+        self.service_config = service_config or ServiceConfig()
+        #: Effective lane count, resolved once (environment included).
+        self.max_workers = self.service_config.resolved_workers()
         self.min_history = min_history
         self.normalize = normalize
         self._sensors: dict[str, SMiLer] = {}
         self._norms: dict[str, ZNormStats] = {}
         self._placements: dict[str, Placement] = {}
         self._last_trace: Span | None = None
+        # Serializes fleet-membership mutations (register / deregister /
+        # restore / evacuate) against each other; per-sensor serving work
+        # needs no service-level lock because each backend shard is
+        # walked by exactly one lane.
+        self._admission_lock = threading.RLock()
 
     # ------------------------------------------------------------- backends
     @property
@@ -224,10 +292,11 @@ class PredictionService:
 
     def sensors_per_backend(self) -> list[int]:
         """Sensor count hosted on each backend."""
-        counts = [0] * len(self._pool)
-        for placement in self._placements.values():
-            counts[placement.backend_index] += 1
-        return counts
+        with self._admission_lock:
+            counts = [0] * len(self._pool)
+            for placement in self._placements.values():
+                counts[placement.backend_index] += 1
+            return counts
 
     def _admit(
         self,
@@ -283,6 +352,10 @@ class PredictionService:
                 f"backend index {backend_index} out of range for a pool of "
                 f"{len(self._pool)}"
             )
+        with self._admission_lock:
+            return self._evacuate_locked(backend_index)
+
+    def _evacuate_locked(self, backend_index: int) -> list[str]:
         self._pool.mark_unhealthy(backend_index)
         stranded = sorted(
             sid for sid, placement in self._placements.items()
@@ -325,6 +398,10 @@ class PredictionService:
     def register(self, sensor_id: str, history: np.ndarray) -> None:
         """Admit a sensor with its raw history."""
         _validate_sensor_id(sensor_id)
+        with self._admission_lock:
+            self._register_locked(sensor_id, history)
+
+    def _register_locked(self, sensor_id: str, history: np.ndarray) -> None:
         if sensor_id in self._sensors:
             raise ValueError(f"sensor {sensor_id!r} is already registered")
         history = np.asarray(history, dtype=np.float64)
@@ -362,10 +439,11 @@ class PredictionService:
 
     def deregister(self, sensor_id: str) -> None:
         """Remove a sensor from the service and free its device memory."""
-        self._require(sensor_id)
-        del self._sensors[sensor_id]
-        del self._norms[sensor_id]
-        self._pool.release(self._placements.pop(sensor_id))
+        with self._admission_lock:
+            self._require(sensor_id)
+            del self._sensors[sensor_id]
+            del self._norms[sensor_id]
+            self._pool.release(self._placements.pop(sensor_id))
         logger.debug("deregistered sensor %s", sensor_id)
 
     @property
@@ -429,6 +507,10 @@ class PredictionService:
 
         The whole batch is validated before any sensor advances, so a bad
         reading leaves every stream untouched (no half-applied ticks).
+        With ``max_workers > 1`` the validated batch fans out one lane
+        per backend shard; each lane applies its backend's readings in
+        batch order, so every backend sees the same operation sequence
+        as the sequential path and the end state is identical.
         """
         checked: dict[str, float] = {}
         for sensor_id, value in readings.items():
@@ -440,8 +522,34 @@ class PredictionService:
                     "ingest"
                 )
             checked[sensor_id] = value
-        for sensor_id, value in checked.items():
-            self._observe_resilient(sensor_id, value)
+        lanes = self._shard_by_backend(checked)
+        if len(lanes) <= 1 or self.max_workers <= 1:
+            for sensor_id, value in checked.items():
+                self._observe_resilient(sensor_id, value)
+            return
+
+        def run_lane(sensor_ids: list[str]) -> None:
+            for sensor_id in sensor_ids:
+                self._observe_resilient(sensor_id, checked[sensor_id])
+
+        with ThreadPoolExecutor(
+            max_workers=min(self.max_workers, len(lanes)),
+            thread_name_prefix="smiler-ingest",
+        ) as executor:
+            # list() drains the iterator so lane exceptions propagate.
+            list(executor.map(run_lane, lanes))
+
+    def _shard_by_backend(self, sensor_ids: Iterable[str]) -> list[list[str]]:
+        """Partition sensors into one lane per hosting backend, keeping
+        the given order within each lane (a snapshot: mid-batch failover
+        may re-place a sensor, but its lane assignment is decided here,
+        exactly as the sequential path decides its grouping up front)."""
+        with self._admission_lock:
+            by_backend: dict[int, list[str]] = {}
+            for sensor_id in sensor_ids:
+                index = self._placements[sensor_id].backend_index
+                by_backend.setdefault(index, []).append(sensor_id)
+        return [by_backend[index] for index in sorted(by_backend)]
 
     def _resolve_horizon(self, horizon: int | None) -> int:
         if horizon is None:
@@ -614,18 +722,25 @@ class PredictionService:
         One sensor's failure no longer aborts the batch: completed
         forecasts are returned and the failure lands in
         :attr:`ForecastBatch.errors`.
+
+        With ``max_workers > 1`` the per-backend groups run on
+        concurrent lanes.  Each lane preserves the sequential path's
+        per-backend sensor order, so kernel dispatch, simulated-time
+        attribution and fault-injection ticks are identical per backend
+        and the batch — forecasts *and* errors — is bit-identical to a
+        ``max_workers=1`` run.
         """
         if not 0.0 < level < 1.0:
             raise ValueError(f"level must be in (0, 1), got {level}")
         self._resolve_horizon(horizon)  # reject bad horizons up front
-        by_backend: dict[int, list[str]] = {}
-        for sensor_id in self.sensor_ids:
-            index = self._placements[sensor_id].backend_index
-            by_backend.setdefault(index, []).append(sensor_id)
-        results: dict[str, Forecast] = {}
-        errors: dict[str, Exception] = {}
-        for index in sorted(by_backend):
-            for sensor_id in by_backend[index]:
+        lanes = self._shard_by_backend(self.sensor_ids)
+
+        def run_lane(
+            sensor_ids: list[str],
+        ) -> tuple[dict[str, Forecast], dict[str, Exception]]:
+            results: dict[str, Forecast] = {}
+            errors: dict[str, Exception] = {}
+            for sensor_id in sensor_ids:
                 try:
                     results[sensor_id] = self.forecast(sensor_id, horizon, level)
                 except Exception as error:
@@ -633,8 +748,23 @@ class PredictionService:
                         "forecast_all: sensor %s failed: %s", sensor_id, error
                     )
                     errors[sensor_id] = error
+            return results, errors
+
+        if len(lanes) <= 1 or self.max_workers <= 1:
+            lane_outputs = [run_lane(lane) for lane in lanes]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(self.max_workers, len(lanes)),
+                thread_name_prefix="smiler-forecast",
+            ) as executor:
+                lane_outputs = list(executor.map(run_lane, lanes))
+        results = {}
+        errors = {}
+        for lane_results, lane_errors in lane_outputs:
+            results.update(lane_results)
+            errors.update(lane_errors)
         batch = ForecastBatch(sorted(results.items()))
-        batch.errors = errors
+        batch.errors = dict(sorted(errors.items()))
         return batch
 
     # ------------------------------------------------------------ snapshots
@@ -669,6 +799,10 @@ class PredictionService:
         picks the hosting backend before the index is rebuilt — the same
         admission path as :meth:`register`.
         """
+        with self._admission_lock:
+            self._restore_locked(directory)
+
+    def _restore_locked(self, directory) -> None:
         if self._sensors:
             raise RuntimeError("restore() requires an empty service")
         directory = pathlib.Path(directory)
@@ -739,24 +873,33 @@ class PredictionService:
 
     # ------------------------------------------------------------- status
     def status(self) -> dict:
-        """Fleet diagnostics: memory, simulated time, per-sensor state."""
-        counts = self.sensors_per_backend()
+        """Fleet diagnostics: memory, simulated time, per-sensor state.
+
+        Health records are snapshotted atomically (``health_dict``) and
+        fleet membership is read under the admission lock, so a status
+        taken while lanes are serving never shows a torn breaker record
+        or a half-registered sensor.
+        """
+        with self._admission_lock:
+            counts = self.sensors_per_backend()
+            sensors = dict(self._sensors)
         return {
-            "n_sensors": len(self._sensors),
+            "n_sensors": len(sensors),
             "device_memory_bytes": self._pool.allocated_bytes,
             "device_sim_seconds": self._pool.elapsed_s,
+            "max_workers": self.max_workers,
             "backends": [
                 {
                     "name": backend.name,
                     "n_sensors": counts[i],
                     "allocated_bytes": backend.allocated_bytes,
                     "sim_seconds": backend.elapsed_s,
-                    "health": self._pool.health(i).as_dict(),
+                    "health": self._pool.health_dict(i),
                 }
                 for i, backend in enumerate(self._pool.backends)
             ],
             "sensors": {
                 sensor_id: smiler.diagnostics()
-                for sensor_id, smiler in self._sensors.items()
+                for sensor_id, smiler in sensors.items()
             },
         }
