@@ -72,10 +72,10 @@ def main() -> None:
     assert interior_hits, "planted motif occurrences must be retrieved"
 
     # Continuous stepping: feed 5 new points; reuse keeps it cheap.
-    before = engine.device.elapsed_s
+    before = engine.backend.elapsed_s
     for value in 0.3 * np.random.default_rng(1).normal(size=5):
         answers = engine.step(float(value))
-    print(f"5 continuous steps took {format_seconds(engine.device.elapsed_s - before)} "
+    print(f"5 continuous steps took {format_seconds(engine.backend.elapsed_s - before)} "
           "of simulated device time")
 
     # Exactness spot-check against the CPU scan baseline.  The engine's

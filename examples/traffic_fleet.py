@@ -57,7 +57,7 @@ def main() -> None:
         title=f"Fleet of {N_SENSORS} road sensors, {STEPS} continuous steps",
     ))
 
-    device = fleet.device
+    device = fleet.backend
     print()
     print(f"simulated GPU time (search kernels): "
           f"{format_seconds(device.elapsed_s)}")

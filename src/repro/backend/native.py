@@ -15,6 +15,7 @@ serialization beyond what NumPy provides.
 
 from __future__ import annotations
 
+import itertools
 import threading
 
 import numpy as np
@@ -29,6 +30,9 @@ __all__ = ["NativeBackend"]
 #: (max free == min allocated for equal capacities) still balances.
 _UNBOUNDED_BYTES = 1 << 62
 
+#: Process-wide instance sequence for telemetry-stable backend ids.
+_BACKEND_SEQ = itertools.count()
+
 
 class NativeBackend:
     """Straight NumPy compute: no cost model, optional memory bound."""
@@ -40,6 +44,9 @@ class NativeBackend:
             raise ValueError(
                 f"capacity_bytes must be positive, got {capacity_bytes}"
             )
+        #: Process-unique identity stamped on telemetry (event-log lines,
+        #: lane spans, Chrome-trace track names).
+        self.backend_id = f"native-{next(_BACKEND_SEQ)}"
         self.capacity_bytes = capacity_bytes
         self._allocated = 0
         self._serial = 0

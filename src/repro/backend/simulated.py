@@ -17,6 +17,7 @@ uncontended on the happy path.
 
 from __future__ import annotations
 
+import itertools
 import threading
 
 import numpy as np
@@ -26,6 +27,9 @@ from ..gpu.device import Allocation, GpuDevice
 from ..gpu.kernels import dtw_verification_kernel, full_dtw_kernel, k_select_kernel
 
 __all__ = ["SimulatedGpuBackend"]
+
+#: Process-wide instance sequence for telemetry-stable backend ids.
+_BACKEND_SEQ = itertools.count()
 
 
 class SimulatedGpuBackend:
@@ -39,6 +43,9 @@ class SimulatedGpuBackend:
         if device is not None and spec is not None:
             raise ValueError("pass either a device or a spec, not both")
         self.device = device if device is not None else GpuDevice(spec)
+        #: Process-unique identity stamped on telemetry (event-log lines,
+        #: lane spans, Chrome-trace track names).
+        self.backend_id = f"simulated-{next(_BACKEND_SEQ)}"
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------- kernels

@@ -8,15 +8,21 @@ Usage (installed as the ``repro`` package)::
     python -m repro.cli run fig7 --preset tiny --metrics-out results/fig7_metrics.json
     python -m repro.cli demo --dataset MALL --steps 20
     python -m repro.cli stats --dataset ROAD --steps 5
+    python -m repro.cli trace --out trace.json --sensors 8 --workers 4
 
 Presets scale the synthetic workloads: ``tiny`` (seconds, CI-friendly),
 ``small`` (the benchmark defaults), ``paper`` (hours; closest to the
 paper's data sizes).
 
 ``stats`` runs a short instrumented serving loop and prints the span
-tree of the last forecast plus a Prometheus-text metrics export —
-the quickest way to see the observability layer
-(``docs/observability.md``) in action.
+tree of the last forecast, SLO attainment, the tail of the structured
+event log and a Prometheus-text metrics export — the quickest way to
+see the observability layer (``docs/observability.md``) in action.
+
+``trace`` runs an instrumented multi-sensor ``forecast_all`` loop and
+exports the last request's span tree (one track per worker lane) plus
+its event-log lines as Chrome trace-event JSON — open the file at
+https://ui.perfetto.dev or ``chrome://tracing``.
 
 ``demo`` and ``stats`` accept ``--fault-profile`` (a named profile such
 as ``flaky-kernels``, or a ``key=value`` spec — see
@@ -168,6 +174,56 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serving thread-pool lanes (one per backend shard; default: "
         "REPRO_MAX_WORKERS, else sequential)",
     )
+    stats.add_argument(
+        "--events", type=int, default=10, metavar="N",
+        help="show the last N structured event-log lines (default: 10)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="export one forecast_all request as Chrome trace-event JSON",
+    )
+    trace.add_argument(
+        "--out", type=pathlib.Path, required=True, metavar="PATH",
+        help="write the Chrome trace-event JSON here (open in Perfetto "
+        "or chrome://tracing)",
+    )
+    trace.add_argument("--dataset", default="ROAD", help="ROAD, MALL or NET")
+    trace.add_argument(
+        "--sensors", type=int, default=8, metavar="N",
+        help="fleet size (default: 8)",
+    )
+    trace.add_argument(
+        "--backends", type=int, default=4, metavar="N",
+        help="backend pool size — one worker lane per backend (default: 4)",
+    )
+    trace.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="serving thread-pool lanes (default: 4)",
+    )
+    trace.add_argument(
+        "--steps", type=int, default=2,
+        help="ingest_many + forecast_all rounds before the export "
+        "(default: 2; the last round's forecast_all is exported)",
+    )
+    trace.add_argument(
+        "--predictor", choices=("gp", "ar"), default="ar",
+        help="per-sensor predictor (default: ar — fast, trace-friendly)",
+    )
+    trace.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="simulated",
+        help="compute backend; 'simulated' adds gpu_sim async slices "
+        "to the trace (default: simulated)",
+    )
+    trace.add_argument(
+        "--fault-profile", default=None, metavar="PROFILE",
+        help="wrap every backend in deterministic fault injection so "
+        "degradations and breaker trips show up as trace instants",
+    )
+    trace.add_argument(
+        "--metrics-out", type=pathlib.Path, default=None, metavar="PATH",
+        help="also dump a JSON metrics snapshot here",
+    )
     return parser
 
 
@@ -234,6 +290,7 @@ def _run_demo(
 def _run_stats(
     dataset: str, steps: int, predictor: str, fmt: str, backend: str,
     fault_profile: str | None = None, workers: int | None = None,
+    events: int = 10,
 ) -> str:
     """A short instrumented serving loop: last-request trace + metrics."""
     if steps <= 0:
@@ -267,11 +324,105 @@ def _run_stats(
              f"SMiLer-{predictor.upper()}) =="]
     lines.append(obs.format_span_tree(trace))
     lines.append("")
+    lines.append("== slo ==")
+    snapshot = obs.get_slo_tracker().snapshot()
+    for class_, record in snapshot["classes"].items():
+        lines.append(
+            f"{class_}: attainment {record['attainment']:.3f} over "
+            f"{record['window_samples']} samples (objective "
+            f"{record['objective_s']:g}s, budget remaining "
+            f"{record['error_budget_remaining']:+.2f})"
+        )
+    if snapshot["served_degraded"]:
+        lines.append(
+            "served degraded: " + ", ".join(
+                f"{rung}={count}"
+                for rung, count in sorted(snapshot["served_degraded"].items())
+            )
+        )
+    event_log = obs.get_event_log()
+    if events > 0:
+        lines.append("")
+        lines.append(f"== last {events} events ==")
+        tail = event_log.to_jsonl(event_log.tail(events)).rstrip("\n")
+        lines.append(tail if tail else "(no events)")
+    lines.append("")
     lines.append("== metrics ==")
     if fmt == "json":
         lines.append(json.dumps(service.metrics(), indent=2))
     else:
         lines.append(obs.to_prometheus(obs.get_registry()).rstrip("\n"))
+    return "\n".join(lines)
+
+
+def _run_trace(
+    out: pathlib.Path,
+    dataset: str,
+    sensors: int,
+    n_backends: int,
+    workers: int,
+    steps: int,
+    predictor: str,
+    backend: str,
+    fault_profile: str | None = None,
+    metrics_out: pathlib.Path | None = None,
+) -> str:
+    """Instrumented multi-sensor loop → Chrome trace-event export."""
+    if steps <= 0:
+        raise SystemExit("--steps must be positive")
+    if sensors <= 0:
+        raise SystemExit("--sensors must be positive")
+    if n_backends <= 0:
+        raise SystemExit("--backends must be positive")
+    ds = make_dataset(
+        dataset, n_sensors=sensors, n_points=1200, test_points=max(steps, 8)
+    )
+    was_enabled = obs.is_enabled()
+    obs.reset()
+    obs.enable()
+    try:
+        service = PredictionService(
+            config=SMiLerConfig(predictor=predictor),
+            backends=[
+                make_backend(backend, fault_profile=fault_profile)
+                for _ in range(n_backends)
+            ],
+            min_history=256,
+            service_config=ServiceConfig(max_workers=workers),
+        )
+        tails = {}
+        for i in range(sensors):
+            history, tail = ds.sensor(i)
+            sensor_id = f"{dataset.lower()}-{i:03d}"
+            service.register(sensor_id, history.values)
+            tails[sensor_id] = tail
+        for step in range(steps):
+            if step:
+                service.ingest_many(
+                    {sid: float(t[step - 1]) for sid, t in tails.items()}
+                )
+            batch = service.forecast_all()
+        root = service.trace_last_request()
+        request_id = str(root.attrs.get("request_id", "")) or None
+        obs.write_chrome_trace(
+            out, root, event_log=obs.get_event_log(), request_id=request_id
+        )
+        if metrics_out is not None:
+            metrics_out.parent.mkdir(parents=True, exist_ok=True)
+            metrics_out.write_text(
+                json.dumps(obs.to_json(obs.get_registry()), indent=2) + "\n"
+            )
+    finally:
+        if not was_enabled:
+            obs.disable()
+    n_lanes = sum(1 for child in root.children if child.name == "lane")
+    lines = [
+        f"wrote {out}: request {request_id}, {len(batch)} forecasts over "
+        f"{n_lanes} lanes ({backend} backend, workers={workers})",
+        "open it at https://ui.perfetto.dev or chrome://tracing",
+    ]
+    if metrics_out is not None:
+        lines.append(f"metrics snapshot: {metrics_out}")
     return "\n".join(lines)
 
 
@@ -313,7 +464,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "stats":
         print(_run_stats(
             args.dataset, args.steps, args.predictor, args.format,
-            args.backend, args.fault_profile, args.workers,
+            args.backend, args.fault_profile, args.workers, args.events,
+        ))
+        return 0
+    if args.command == "trace":
+        print(_run_trace(
+            args.out, args.dataset, args.sensors, args.backends,
+            args.workers, args.steps, args.predictor, args.backend,
+            args.fault_profile, args.metrics_out,
         ))
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

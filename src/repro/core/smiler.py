@@ -17,6 +17,7 @@ Fig. 12(c).
 
 from __future__ import annotations
 
+import warnings
 import logging
 from collections import deque
 from dataclasses import dataclass, field
@@ -104,6 +105,11 @@ class SMiLer:
     @property
     def device(self) -> ComputeBackend:
         """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
+        warnings.warn(
+            "SMiLer.device is deprecated; use SMiLer.backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.backend
 
     @property
@@ -334,6 +340,11 @@ class SensorFleet:
     @property
     def device(self) -> ComputeBackend:
         """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
+        warnings.warn(
+            "SensorFleet.device is deprecated; use SensorFleet.backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.backend
 
     def __len__(self) -> int:

@@ -409,13 +409,13 @@ def run_fig12(
                     history.values, config,
                     backend=SimulatedGpuBackend(),
                 )
-                before_sim = smiler.device.elapsed_s
+                before_sim = smiler.backend.elapsed_s
                 t0 = time.perf_counter()
                 for point in tail[:steps]:
                     smiler.predict(horizon=min(scale.horizons))
                     smiler.observe(float(point))
                 predict_wall += time.perf_counter() - t0
-                search_sim += smiler.device.elapsed_s - before_sim
+                search_sim += smiler.backend.elapsed_s - before_sim
             step_times[dataset][f"SMiLer-{predictor.upper()}"] = (
                 search_sim / steps,
                 predict_wall / steps,

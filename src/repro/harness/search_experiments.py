@@ -8,6 +8,7 @@ accounts exactly, so winners and approximate ratios mirror the paper.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,6 +67,11 @@ class SearchScale:
 
     def device(self) -> SimulatedGpuBackend:
         """Deprecated alias for :meth:`backend`."""
+        warnings.warn(
+            "SearchScale.device is deprecated; use SearchScale.backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.backend()
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import warnings
 import numpy as np
 
 from ..backend.base import ComputeBackend
@@ -87,6 +88,11 @@ class GroupLevelIndex:
     @property
     def device(self) -> ComputeBackend:
         """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
+        warnings.warn(
+            "GroupLevelIndex.device is deprecated; use GroupLevelIndex.backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.backend
 
     def compute(self) -> dict[int, ItemLowerBounds]:

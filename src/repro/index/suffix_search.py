@@ -27,6 +27,7 @@ repeats with threshold reuse.
 
 from __future__ import annotations
 
+import warnings
 import logging
 from dataclasses import dataclass, field
 
@@ -123,6 +124,11 @@ class SuffixKnnEngine:
     @property
     def device(self) -> ComputeBackend:
         """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
+        warnings.warn(
+            "SuffixKnnEngine.device is deprecated; use SuffixKnnEngine.backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.backend
 
     @property

@@ -34,6 +34,7 @@ Fig. 7/8 cost accounting.
 
 from __future__ import annotations
 
+import warnings
 import numpy as np
 
 from ..backend.base import ComputeBackend, as_backend
@@ -97,6 +98,11 @@ class WindowLevelIndex:
     @property
     def device(self) -> ComputeBackend:
         """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
+        warnings.warn(
+            "WindowLevelIndex.device is deprecated; use WindowLevelIndex.backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.backend
 
     @property

@@ -1,0 +1,269 @@
+"""Chrome trace-event export: span trees + event log → ``chrome://tracing``.
+
+Converts one completed request's span tree (plus, optionally, the
+structured event log) into the Trace Event Format consumed by
+``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_.  The
+layout mirrors the serving architecture:
+
+* the request root and everything on the calling thread land on the
+  ``main`` track (``tid`` 0),
+* each worker lane span (``name == "lane"``, carrying a ``lane`` attr)
+  becomes its own track, named after the lane and its backend, with the
+  lane's whole subtree on it — so the picture *is* the thread pool:
+  queue-wait gaps, lane skew and stragglers are visible at a glance,
+* simulated-GPU seconds are emitted as **async slices** (``ph: "b"`` /
+  ``"e"``, category ``gpu_sim``) overlaying each span that attributed
+  device time — the cost model's answer drawn against the wall clock,
+* event-log lines become instant events (``ph: "i"``) on the track of
+  the process, so breaker trips and degradations line up with the spans
+  that caused them.
+
+Timestamps are ``perf_counter`` microseconds (the span clock); the
+exporter subtracts the earliest timestamp so traces start near zero.
+
+``validate_chrome_trace`` is the schema gate CI runs against exported
+files — it checks the structural contract Chrome/Perfetto actually
+require rather than a full JSON-Schema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+from .events import EventLog
+from .tracing import Span
+
+__all__ = [
+    "trace_to_chrome",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+#: Single-process export: everything belongs to one pid.
+_PID = 1
+#: Track ids: the request/caller thread is 0; lanes are 1 + lane index.
+_MAIN_TID = 0
+
+
+def _span_events(
+    span: Span,
+    tid: int,
+    origin_s: float,
+    out: list[dict],
+    async_ids: dict[str, int],
+    lane_tids: dict[int, tuple[int, str]],
+) -> None:
+    """Emit one span (and recursively its children) onto a track."""
+    if span.name == "lane" and "lane" in span.attrs:
+        lane = int(span.attrs["lane"])  # one track per worker lane
+        tid = 1 + lane
+        backend = span.attrs.get("backend_id", span.attrs.get("backend", "?"))
+        lane_tids.setdefault(lane, (tid, f"lane-{lane} ({backend})"))
+    ts_us = (span.start_s - origin_s) * 1e6
+    dur_us = max(span.wall_s, 0.0) * 1e6
+    args = {
+        key: value if isinstance(value, (int, float, bool)) else str(value)
+        for key, value in span.attrs.items()
+    }
+    args["gpu_sim_ms"] = span.gpu_sim_s * 1e3
+    out.append(
+        {
+            "name": span.name,
+            "cat": "span",
+            "ph": "X",
+            "ts": ts_us,
+            "dur": dur_us,
+            "pid": _PID,
+            "tid": tid,
+            "args": args,
+        }
+    )
+    if span.gpu_sim_s > 0.0:
+        # Async slice: simulated kernel seconds drawn from the span's
+        # start — device time is modelled, not measured, so the overlay
+        # shows "what the cost model charged here" against wall time.
+        async_ids["next"] += 1
+        slice_id = async_ids["next"]
+        common = {
+            "cat": "gpu_sim",
+            "name": f"gpu:{span.name}",
+            "pid": _PID,
+            "tid": tid,
+            "id": slice_id,
+        }
+        out.append({**common, "ph": "b", "ts": ts_us})
+        out.append({**common, "ph": "e", "ts": ts_us + span.gpu_sim_s * 1e6})
+    for child in span.children:
+        _span_events(child, tid, origin_s, out, async_ids, lane_tids)
+
+
+def _earliest_start(span: Span) -> float:
+    start = span.start_s
+    for child in span.children:
+        start = min(start, _earliest_start(child))
+    return start
+
+
+def trace_to_chrome(
+    root: Span,
+    event_log: EventLog | None = None,
+    request_id: str | None = None,
+) -> dict:
+    """Render one span tree (and optional event log) as a trace object.
+
+    ``request_id`` filters the event log to one request's lines; when
+    None, every retained event inside the trace's time range is
+    exported.  Returns the JSON-object form of the Trace Event Format
+    (``{"traceEvents": [...], ...}``).
+    """
+    if root is None:
+        raise ValueError("no span tree to export — was tracing enabled?")
+    origin_s = _earliest_start(root)
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID,
+            "tid": _MAIN_TID,
+            "args": {"name": "smiler"},
+        },
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": _PID,
+            "tid": _MAIN_TID,
+            "args": {"name": "main"},
+        },
+    ]
+    async_ids = {"next": 0}
+    lane_tids: dict[int, tuple[int, str]] = {}
+    _span_events(root, _MAIN_TID, origin_s, events, async_ids, lane_tids)
+    for lane in sorted(lane_tids):
+        tid, label = lane_tids[lane]
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+    if event_log is not None:
+        span_end = origin_s + max(root.wall_s, 0.0)
+        for record in event_log.tail():
+            if request_id is not None and record["request_id"] != request_id:
+                continue
+            mono = record.get("mono_s")
+            if mono is None or not origin_s <= mono <= span_end + 1e-6:
+                if request_id is None:
+                    continue
+                # Explicitly-requested events export even slightly out of
+                # range (an end event stamped after the root span closed).
+                mono = min(max(mono or origin_s, origin_s), span_end)
+            events.append(
+                {
+                    "name": record["kind"],
+                    "cat": "event",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": (mono - origin_s) * 1e6,
+                    "pid": _PID,
+                    "tid": _MAIN_TID,
+                    "args": {
+                        key: value
+                        for key, value in record.items()
+                        if key not in ("mono_s",) and value is not None
+                    },
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs.chrome",
+            "root_span": root.name,
+            "request_id": request_id
+            or str(root.attrs.get("request_id", "")) or None,
+        },
+    }
+
+
+def write_chrome_trace(
+    path,
+    root: Span,
+    event_log: EventLog | None = None,
+    request_id: str | None = None,
+) -> pathlib.Path:
+    """Export a trace to ``path`` (validated before writing)."""
+    payload = trace_to_chrome(root, event_log=event_log, request_id=request_id)
+    validate_chrome_trace(payload)
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1) + "\n")
+    return path
+
+
+# --------------------------------------------------------------- validation
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "pid", "tid", "s"),
+    "b": ("name", "ts", "pid", "tid", "id", "cat"),
+    "e": ("name", "ts", "pid", "tid", "id", "cat"),
+    "M": ("name", "pid", "args"),
+}
+
+
+def validate_chrome_trace(payload: object) -> None:
+    """Structural validation of a Trace Event Format object.
+
+    Raises :class:`ValueError` naming the first offending event.  The
+    checks mirror what ``chrome://tracing`` / Perfetto require to render
+    a file: the JSON-object form with a ``traceEvents`` list, known
+    phases with their mandatory fields, finite non-negative timestamps
+    and durations, and balanced async begin/end pairs per ``(cat, id)``.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(payload).__name__}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("trace needs a non-empty 'traceEvents' list")
+    async_depth: dict[tuple, int] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        phase = event.get("ph")
+        if phase not in _REQUIRED_BY_PHASE:
+            raise ValueError(
+                f"traceEvents[{i}] has unsupported phase {phase!r}"
+            )
+        missing = [f for f in _REQUIRED_BY_PHASE[phase] if f not in event]
+        if missing:
+            raise ValueError(
+                f"traceEvents[{i}] (ph={phase!r}) missing fields {missing}"
+            )
+        for field in ("ts", "dur"):
+            if field in event:
+                value = event[field]
+                if (
+                    not isinstance(value, (int, float))
+                    or not math.isfinite(value)
+                    or value < 0.0
+                ):
+                    raise ValueError(
+                        f"traceEvents[{i}].{field} must be a finite "
+                        f"non-negative number, got {value!r}"
+                    )
+        if phase in ("b", "e"):
+            key = (event.get("cat"), event.get("id"))
+            depth = async_depth.get(key, 0) + (1 if phase == "b" else -1)
+            if depth < 0:
+                raise ValueError(
+                    f"traceEvents[{i}] ends async slice {key} that never began"
+                )
+            async_depth[key] = depth
+    unbalanced = [key for key, depth in async_depth.items() if depth != 0]
+    if unbalanced:
+        raise ValueError(f"unbalanced async slices: {unbalanced}")

@@ -9,7 +9,10 @@ series, histograms as cumulative ``_bucket{le=...}`` series plus
 
 ``to_json`` renders the same state as a plain dict for programmatic
 consumers (the experiment harness's ``--metrics-out`` snapshots and
-:meth:`repro.service.PredictionService.metrics`).
+:meth:`repro.service.PredictionService.metrics`).  Counter and histogram
+series that carry an exemplar (``{"request_id": ...}``) include it under
+an ``"exemplar"`` key — the text format stays plain 0.0.4, which has no
+exemplar syntax.
 """
 
 from __future__ import annotations
@@ -92,9 +95,12 @@ def to_json(registry: MetricsRegistry) -> dict:
         if isinstance(metric, (Counter, Gauge)):
             for key in metric.series_keys():
                 labels = metric.labels_of(key)
-                record["series"].append(
-                    {"labels": labels, "value": metric.value(**labels)}
-                )
+                entry: dict = {"labels": labels, "value": metric.value(**labels)}
+                if isinstance(metric, Counter):
+                    exemplar = metric.exemplar(**labels)
+                    if exemplar is not None:
+                        entry["exemplar"] = exemplar
+                record["series"].append(entry)
         elif isinstance(metric, Histogram):
             record["buckets"] = list(metric.bounds)
             for key in metric.series_keys():
@@ -102,16 +108,17 @@ def to_json(registry: MetricsRegistry) -> dict:
                 series = metric.series(**labels)
                 if series is None:  # pragma: no cover - racy delete only
                     continue
-                record["series"].append(
-                    {
-                        "labels": labels,
-                        "count": series.count,
-                        "sum": series.sum,
-                        "bucket_counts": series.cumulative(),
-                        "p50": series.quantile(0.5, metric.bounds),
-                        "p95": series.quantile(0.95, metric.bounds),
-                        "p99": series.quantile(0.99, metric.bounds),
-                    }
-                )
+                entry = {
+                    "labels": labels,
+                    "count": series.count,
+                    "sum": series.sum,
+                    "bucket_counts": series.cumulative(),
+                    "p50": series.quantile(0.5, metric.bounds),
+                    "p95": series.quantile(0.95, metric.bounds),
+                    "p99": series.quantile(0.99, metric.bounds),
+                }
+                if series.exemplar is not None:
+                    entry["exemplar"] = dict(series.exemplar)
+                record["series"].append(entry)
         out[metric.name] = record
     return out

@@ -19,7 +19,10 @@ what gets emitted.
 
 from __future__ import annotations
 
+from . import context as reqctx
+from .events import EventLog
 from .registry import MetricsRegistry
+from .slo import SLOTarget, SLOTracker
 from .tracing import Span, Tracer
 
 __all__ = [
@@ -29,7 +32,11 @@ __all__ = [
     "reset",
     "get_registry",
     "get_tracer",
+    "get_event_log",
+    "get_slo_tracker",
+    "configure_slo",
     "span",
+    "detached_span",
     "observe_kernel_launch",
     "observe_gpu_memory",
     "observe_search",
@@ -41,6 +48,9 @@ __all__ = [
     "observe_backend_state",
     "observe_breaker_transition",
     "observe_evacuation",
+    "observe_request_start",
+    "observe_request_end",
+    "observe_lane",
 ]
 
 #: Numeric encoding of circuit-breaker states for the backend_state gauge.
@@ -55,9 +65,17 @@ _SIM_SECONDS_BUCKETS = (
 #: Device-cycle buckets (decades from 1k to 10G cycles).
 _CYCLE_BUCKETS = tuple(10.0 ** e for e in range(3, 11))
 
+#: Lane queue-wait/execute buckets — sub-millisecond to seconds.
+_LANE_SECONDS_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
 _enabled = False
 _registry = MetricsRegistry()
 _tracer = Tracer()
+_events = EventLog()
+_slo = SLOTracker()
 
 
 class _NoopSpan:
@@ -94,9 +112,12 @@ def is_enabled() -> bool:
 
 
 def reset() -> None:
-    """Clear all collected metrics and traces (the switch is untouched)."""
+    """Clear all collected metrics, traces, events and SLO windows (the
+    switch and SLO objectives are untouched)."""
     _registry.reset()
     _tracer.reset()
+    _events.clear()
+    _slo.reset()
 
 
 def get_registry() -> MetricsRegistry:
@@ -109,12 +130,36 @@ def get_tracer() -> Tracer:
     return _tracer
 
 
+def get_event_log() -> EventLog:
+    """The process-wide structured event log (ring buffer)."""
+    return _events
+
+
+def get_slo_tracker() -> SLOTracker:
+    """The process-wide SLO tracker."""
+    return _slo
+
+
+def configure_slo(objectives: dict[str, SLOTarget]) -> None:
+    """Replace/extend the per-request-class SLO objectives."""
+    _slo.configure(objectives)
+
+
 # ----------------------------------------------------------------- tracing
 def span(name: str, device=None) -> "Span | _NoopSpan":
     """Open a pipeline span (no-op singleton when disabled)."""
     if not _enabled:
         return _NOOP_SPAN
     return _tracer.span(name, device)
+
+
+def detached_span(name: str, device=None) -> "Span | _NoopSpan":
+    """Open a worker-lane span: roots its own thread's stack, never
+    claims ``last_root``; the parent adopts it after the lane joins
+    (no-op singleton when disabled)."""
+    if not _enabled:
+        return _NOOP_SPAN
+    return _tracer.detached_span(name, device)
 
 
 # ------------------------------------------------------------- gpu kernels
@@ -223,27 +268,139 @@ def observe_forecast(sensor_id: str, horizon: int, latency_s: float) -> None:
     """Record one served forecast and its end-to-end latency."""
     if not _enabled:
         return
+    request_id = reqctx.current_request_id()
+    exemplar = None if request_id is None else {"request_id": request_id}
     _registry.counter(
         "smiler_forecasts_total",
         "Forecast requests served.",
         label_names=("sensor_id", "horizon"),
-    ).inc(sensor_id=sensor_id, horizon=horizon)
+    ).inc(sensor_id=sensor_id, horizon=horizon, exemplar=exemplar)
     _registry.histogram(
         "smiler_forecast_latency_seconds",
         "End-to-end forecast latency (wall-clock).",
         label_names=("sensor_id",),
-    ).observe(latency_s, sensor_id=sensor_id)
+    ).observe(latency_s, sensor_id=sensor_id, exemplar=exemplar)
 
 
 def observe_degraded_forecast(sensor_id: str, source: str) -> None:
     """Record one forecast served below the full-ensemble rung."""
     if not _enabled:
         return
+    request_id = reqctx.current_request_id()
+    exemplar = None if request_id is None else {"request_id": request_id}
     _registry.counter(
         "smiler_forecast_degraded_total",
         "Forecasts served by a degraded rung, by sensor and rung.",
         label_names=("sensor_id", "source"),
-    ).inc(sensor_id=sensor_id, source=source)
+    ).inc(sensor_id=sensor_id, source=source, exemplar=exemplar)
+    _slo.record_degraded(source)
+    _registry.counter(
+        "smiler_slo_served_degraded_total",
+        "Forecasts served degraded, by ladder rung (SLO accounting).",
+        label_names=("rung",),
+    ).inc(rung=source, exemplar=exemplar)
+    _events.emit("degraded", sensor_id=sensor_id, rung=source)
+
+
+# ---------------------------------------------------------- request lifecycle
+def observe_request_start(
+    entry_point: str, request_id: str, n_items: int = 1
+) -> None:
+    """Record one service request entering (event-log line only —
+    metrics land at the end, when the latency is known)."""
+    if not _enabled:
+        return
+    _events.emit(
+        "request_start",
+        request_id=request_id,
+        entry_point=entry_point,
+        n_items=n_items,
+    )
+
+
+def observe_request_end(
+    entry_point: str,
+    request_id: str,
+    latency_s: float,
+    ok: bool = True,
+    n_items: int = 1,
+    n_errors: int = 0,
+) -> None:
+    """Record one service request completing: latency histogram, SLO
+    window sample, attainment/error-budget gauges and the end event."""
+    if not _enabled:
+        return
+    exemplar = {"request_id": request_id}
+    _registry.counter(
+        "smiler_requests_total",
+        "Service requests completed, by entry point and outcome.",
+        label_names=("class", "outcome"),
+    ).inc(**{"class": entry_point, "outcome": "ok" if ok else "error"},
+          exemplar=exemplar)
+    _registry.histogram(
+        "smiler_request_latency_seconds",
+        "End-to-end request latency by entry point.",
+        label_names=("class",),
+    ).observe(latency_s, exemplar=exemplar, **{"class": entry_point})
+    met = _slo.record(entry_point, latency_s, ok=ok)
+    if not met:
+        _registry.counter(
+            "smiler_slo_breaches_total",
+            "Requests that missed their class SLO (error or over budget).",
+            label_names=("class",),
+        ).inc(**{"class": entry_point}, exemplar=exemplar)
+    _registry.gauge(
+        "smiler_slo_attainment_ratio",
+        "Fraction of the rolling window meeting the class SLO.",
+        label_names=("class",),
+    ).set(_slo.attainment(entry_point), **{"class": entry_point})
+    _registry.gauge(
+        "smiler_slo_error_budget_remaining_ratio",
+        "Unspent fraction of the rolling-window violation budget "
+        "(negative = overdrawn).",
+        label_names=("class",),
+    ).set(_slo.error_budget_remaining(entry_point), **{"class": entry_point})
+    _events.emit(
+        "request_end",
+        request_id=request_id,
+        entry_point=entry_point,
+        latency_s=latency_s,
+        ok=ok,
+        slo_met=met,
+        n_items=n_items,
+        n_errors=n_errors,
+    )
+
+
+def observe_lane(
+    lane: int,
+    backend_index: int,
+    queue_wait_s: float,
+    execute_s: float,
+    n_sensors: int,
+) -> None:
+    """Record one worker lane's queue-wait vs execute attribution."""
+    if not _enabled:
+        return
+    request_id = reqctx.current_request_id()
+    exemplar = None if request_id is None else {"request_id": request_id}
+    _registry.histogram(
+        "smiler_lane_queue_wait_seconds",
+        "Time a lane's work waited between submit and first execution.",
+        label_names=("lane",),
+        buckets=_LANE_SECONDS_BUCKETS,
+    ).observe(queue_wait_s, lane=lane, exemplar=exemplar)
+    _registry.histogram(
+        "smiler_lane_execute_seconds",
+        "Time a lane spent executing its backend shard's work.",
+        label_names=("lane",),
+        buckets=_LANE_SECONDS_BUCKETS,
+    ).observe(execute_s, lane=lane, exemplar=exemplar)
+    _registry.counter(
+        "smiler_lane_sensors_total",
+        "Sensors processed per lane.",
+        label_names=("lane", "backend"),
+    ).inc(n_sensors, lane=lane, backend=backend_index)
 
 
 # -------------------------------------------------------------- resilience
@@ -256,6 +413,7 @@ def observe_fault_injected(operation: str, kind: str) -> None:
         "Faults injected by FaultInjectingBackend, by operation and kind.",
         label_names=("operation", "kind"),
     ).inc(operation=operation, kind=kind)
+    _events.emit("fault_injected", operation=operation, fault_kind=kind)
 
 
 def observe_backend_state(backend_index: int, state: str) -> None:
@@ -285,6 +443,12 @@ def observe_breaker_transition(
         sp.attrs["backend"] = backend_index
         sp.attrs["from_state"] = old_state
         sp.attrs["to_state"] = new_state
+    _events.emit(
+        "breaker_transition",
+        backend_id=backend_index,
+        from_state=old_state,
+        to_state=new_state,
+    )
 
 
 def observe_evacuation(backend_index: int, n_sensors: int) -> None:
@@ -300,6 +464,7 @@ def observe_evacuation(backend_index: int, n_sensors: int) -> None:
         "smiler_sensors_evacuated_total",
         "Sensors re-admitted onto healthy backends by evacuations.",
     ).inc(n_sensors)
+    _events.emit("evacuation", backend_id=backend_index, n_sensors=n_sensors)
 
 
 def observe_gp_training(iterations: int, converged: bool) -> None:

@@ -13,6 +13,13 @@ Every metric carries a fixed set of *label names*; each distinct label
 cardinality cap guards against unbounded label explosions (a sensor id
 typo in a loop must fail loudly, not eat the process's memory).
 
+Counters and histograms additionally accept an OpenMetrics-style
+**exemplar** — a tiny label dict (typically ``{"request_id": ...}``)
+stored *per series*, last write wins.  Exemplars are how unbounded
+identifiers ride along with bounded-cardinality metrics: the series
+stays one time series, but every sample can still be traced back to the
+request that most recently moved it (see ``to_json`` exposition).
+
 All mutating operations are thread-safe: the registry guards its metric
 table and every metric guards its own series map, so concurrent
 increments from worker threads never lose updates.
@@ -104,10 +111,11 @@ class _MetricBase:
 class _Cell:
     """One mutable float slot (counters and gauges)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "exemplar")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self.exemplar: dict[str, str] | None = None
 
 
 class Counter(_MetricBase):
@@ -115,8 +123,17 @@ class Counter(_MetricBase):
 
     kind = "counter"
 
-    def inc(self, amount: float = 1.0, **labels) -> None:
-        """Add ``amount`` (must be >= 0) to the series named by ``labels``."""
+    def inc(
+        self,
+        amount: float = 1.0,
+        exemplar: dict[str, object] | None = None,
+        **labels,
+    ) -> None:
+        """Add ``amount`` (must be >= 0) to the series named by ``labels``.
+
+        ``exemplar`` (keyword-only, e.g. ``{"request_id": rid}``) is
+        retained on the series, last write wins.
+        """
         if amount < 0:
             raise ValueError(
                 f"counter {self.name!r} cannot decrease (amount={amount})"
@@ -125,6 +142,8 @@ class Counter(_MetricBase):
         with self._lock:
             cell = self._series_slot(key, _Cell)
             cell.value += amount
+            if exemplar is not None:
+                cell.exemplar = {k: str(v) for k, v in exemplar.items()}
 
     def value(self, **labels) -> float:
         """Current total of one series (0.0 if never incremented)."""
@@ -132,6 +151,13 @@ class Counter(_MetricBase):
         with self._lock:
             cell = self._series.get(key)
             return cell.value if cell is not None else 0.0
+
+    def exemplar(self, **labels) -> dict[str, str] | None:
+        """The series' most recent exemplar (None if never attached)."""
+        key = _label_key(self, labels)
+        with self._lock:
+            cell = self._series.get(key)
+            return None if cell is None else cell.exemplar
 
 
 class Gauge(_MetricBase):
@@ -166,12 +192,13 @@ class Gauge(_MetricBase):
 class HistogramSeries:
     """Bucket counts + sum + count for one label combination."""
 
-    __slots__ = ("bucket_counts", "sum", "count")
+    __slots__ = ("bucket_counts", "sum", "count", "exemplar")
 
     def __init__(self, n_buckets: int) -> None:
         self.bucket_counts = [0] * n_buckets  # cumulative at exposition time
         self.sum = 0.0
         self.count = 0
+        self.exemplar: dict[str, str] | None = None
 
     def observe(self, value: float, bounds: tuple[float, ...]) -> None:
         # Non-cumulative per-bucket tally; cumulated on read.
@@ -235,14 +262,25 @@ class Histogram(_MetricBase):
             raise ValueError("histogram needs at least one bucket bound")
         self.bounds = bounds  # +Inf bucket is implicit (index len(bounds))
 
-    def observe(self, value: float, **labels) -> None:
-        """Record one observation into the series named by ``labels``."""
+    def observe(
+        self,
+        value: float,
+        exemplar: dict[str, object] | None = None,
+        **labels,
+    ) -> None:
+        """Record one observation into the series named by ``labels``.
+
+        ``exemplar`` (keyword-only) is retained on the series, last
+        write wins — see :class:`Counter.inc`.
+        """
         key = _label_key(self, labels)
         with self._lock:
             series = self._series_slot(
                 key, lambda: HistogramSeries(len(self.bounds) + 1)
             )
             series.observe(float(value), self.bounds)
+            if exemplar is not None:
+                series.exemplar = {k: str(v) for k, v in exemplar.items()}
 
     def series(self, **labels) -> HistogramSeries | None:
         """The raw series record (None if never observed)."""

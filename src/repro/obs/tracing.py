@@ -25,6 +25,17 @@ Completed root spans are retained on ``tracer.last_root`` for
 ``trace_last_request()``-style APIs.  The module is dependency-free and
 never touches the global enable switch — :mod:`repro.obs.hooks` decides
 *whether* to trace; this module only knows *how*.
+
+Cross-thread trees: a worker lane opens a *detached* span
+(:meth:`Tracer.detached_span`) — it roots the lane thread's own stack
+(so the lane's nested spans parent correctly) but never claims
+``last_root`` when it closes.  After the lanes join, the parent thread
+attaches each completed lane tree under its open root with
+:meth:`Span.adopt`, in deterministic lane order, yielding exactly one
+connected tree per request regardless of worker count.  Every span also
+records ``start_s`` (``perf_counter`` at enter), which is what the
+Chrome trace-event exporter (:mod:`repro.obs.chrome`) lays tracks out
+with.
 """
 
 from __future__ import annotations
@@ -39,27 +50,33 @@ class Span:
     """One timed stage; also the context manager that times it."""
 
     __slots__ = (
-        "name", "attrs", "children", "wall_s", "gpu_sim_s",
-        "_tracer", "_device", "_t0", "_gpu0",
+        "name", "attrs", "children", "wall_s", "gpu_sim_s", "start_s",
+        "_tracer", "_device", "_t0", "_gpu0", "_detached",
     )
 
-    def __init__(self, tracer: "Tracer", name: str, device=None) -> None:
+    def __init__(
+        self, tracer: "Tracer", name: str, device=None, detached: bool = False
+    ) -> None:
         self.name = name
         self.attrs: dict[str, object] = {}
         self.children: list[Span] = []
         self.wall_s = 0.0
         self.gpu_sim_s = 0.0
+        #: ``perf_counter`` when the span was entered (0.0 before enter);
+        #: the trace clock the Chrome exporter aligns tracks on.
+        self.start_s = 0.0
         self._tracer = tracer
         self._device = device
         self._t0 = 0.0
         self._gpu0 = 0.0
+        self._detached = detached
 
     # -------------------------------------------------------------- context
     def __enter__(self) -> "Span":
         self._tracer._push(self)
         if self._device is not None:
             self._gpu0 = self._device.elapsed_s
-        self._t0 = time.perf_counter()
+        self._t0 = self.start_s = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -68,6 +85,17 @@ class Span:
             self.gpu_sim_s = self._device.elapsed_s - self._gpu0
         self._tracer._pop(self)
         return False
+
+    # ----------------------------------------------------------- adoption
+    def adopt(self, child: "Span") -> None:
+        """Attach a *completed* detached span as a child of this one.
+
+        This is how cross-thread trees connect: worker lanes build their
+        own detached subtrees, and the parent thread adopts them after
+        the lanes join — so the append races with nothing and the child
+        order is whatever the caller chose (lane order, typically).
+        """
+        self.children.append(child)
 
     # ---------------------------------------------------------------- views
     def find(self, name: str) -> "Span | None":
@@ -93,6 +121,7 @@ class Span:
         """JSON-friendly nested record."""
         return {
             "name": self.name,
+            "start_s": self.start_s,
             "wall_s": self.wall_s,
             "gpu_sim_s": self.gpu_sim_s,
             "attrs": dict(self.attrs),
@@ -130,6 +159,12 @@ class Tracer:
         """A new span; nests under the currently open span on this thread."""
         return Span(self, name, device)
 
+    def detached_span(self, name: str, device=None) -> Span:
+        """A span for a worker lane: roots its own thread's stack but
+        never claims ``last_root`` — the parent thread attaches the
+        completed subtree with :meth:`Span.adopt` after the lane joins."""
+        return Span(self, name, device, detached=True)
+
     def current(self) -> Span | None:
         """The innermost open span on this thread (None outside spans)."""
         stack = self._stack()
@@ -148,7 +183,7 @@ class Tracer:
             top = stack.pop()
             if top is span:
                 break
-        if not stack:
+        if not stack and not span._detached:
             with self._root_lock:
                 self.last_root = span
 

@@ -45,8 +45,9 @@ import pathlib
 import re
 import threading
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
 import numpy as np
@@ -58,6 +59,7 @@ from .baselines.autoregressive import fit_ar
 from .core.config import SMiLerConfig
 from .core.persistence import build_smiler, load_snapshot, save_smiler
 from .core.smiler import SMiLer
+from .obs import context as reqctx
 from .obs import hooks as obs
 from .obs.exposition import to_json
 from .obs.tracing import Span
@@ -189,7 +191,10 @@ class Forecast:
 
     ``source`` names the degradation-ladder rung that produced it
     (``"ensemble"`` is the full system); ``degraded`` is True for any
-    rung below the top.
+    rung below the top.  ``request_id`` is the serving request that
+    produced the forecast — telemetry identity, excluded from equality
+    so the bit-identical concurrency contract compares *forecasts*, not
+    which request happened to compute them.
     """
 
     sensor_id: str
@@ -201,6 +206,7 @@ class Forecast:
     level: float
     source: str = "ensemble"
     degraded: bool = False
+    request_id: str = field(default="", compare=False)
 
     def as_dict(self) -> dict:
         """JSON-friendly record."""
@@ -213,6 +219,7 @@ class Forecast:
             "level": self.level,
             "source": self.source,
             "degraded": self.degraded,
+            "request_id": self.request_id,
         }
 
 
@@ -283,6 +290,12 @@ class PredictionService:
     @property
     def device(self) -> ComputeBackend:
         """Deprecated alias: the first backend (pre-pool name)."""
+        warnings.warn(
+            "PredictionService.device is deprecated; use "
+            "PredictionService.backends[0]",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._pool.backends[0]
 
     def placement_of(self, sensor_id: str) -> int:
@@ -494,13 +507,27 @@ class PredictionService:
 
     def ingest(self, sensor_id: str, value: float) -> None:
         """Feed one new raw reading (auto-tunes and advances the index)."""
-        self._require(sensor_id)
-        value = float(value)
-        if not np.isfinite(value):
-            raise ValueError(
-                f"non-finite reading for {sensor_id!r}; impute before ingest"
-            )
-        self._observe_resilient(sensor_id, value)
+        with reqctx.begin_request("ingest") as scope:
+            t0 = time.perf_counter()
+            if scope.minted:
+                obs.observe_request_start("ingest", scope.request_id)
+            ok = False
+            try:
+                self._require(sensor_id)
+                value = float(value)
+                if not np.isfinite(value):
+                    raise ValueError(
+                        f"non-finite reading for {sensor_id!r}; impute "
+                        "before ingest"
+                    )
+                self._observe_resilient(sensor_id, value)
+                ok = True
+            finally:
+                if scope.minted:
+                    obs.observe_request_end(
+                        "ingest", scope.request_id,
+                        time.perf_counter() - t0, ok=ok,
+                    )
 
     def ingest_many(self, readings: Mapping[str, float]) -> None:
         """Feed one batch of raw readings, one per sensor.
@@ -512,44 +539,145 @@ class PredictionService:
         batch order, so every backend sees the same operation sequence
         as the sequential path and the end state is identical.
         """
-        checked: dict[str, float] = {}
-        for sensor_id, value in readings.items():
-            self._require(sensor_id)
-            value = float(value)
-            if not np.isfinite(value):
-                raise ValueError(
-                    f"non-finite reading for {sensor_id!r}; impute before "
-                    "ingest"
+        with reqctx.begin_request("ingest_many") as scope:
+            t0 = time.perf_counter()
+            if scope.minted:
+                obs.observe_request_start(
+                    "ingest_many", scope.request_id, n_items=len(readings)
                 )
-            checked[sensor_id] = value
-        lanes = self._shard_by_backend(checked)
-        if len(lanes) <= 1 or self.max_workers <= 1:
-            for sensor_id, value in checked.items():
-                self._observe_resilient(sensor_id, value)
-            return
+            ok = False
+            try:
+                checked: dict[str, float] = {}
+                for sensor_id, value in readings.items():
+                    self._require(sensor_id)
+                    value = float(value)
+                    if not np.isfinite(value):
+                        raise ValueError(
+                            f"non-finite reading for {sensor_id!r}; impute "
+                            "before ingest"
+                        )
+                    checked[sensor_id] = value
 
-        def run_lane(sensor_ids: list[str]) -> None:
-            for sensor_id in sensor_ids:
-                self._observe_resilient(sensor_id, checked[sensor_id])
+                def lane_body(sensor_ids: list[str]) -> None:
+                    for sensor_id in sensor_ids:
+                        self._observe_resilient(sensor_id, checked[sensor_id])
 
-        with ThreadPoolExecutor(
-            max_workers=min(self.max_workers, len(lanes)),
-            thread_name_prefix="smiler-ingest",
-        ) as executor:
-            # list() drains the iterator so lane exceptions propagate.
-            list(executor.map(run_lane, lanes))
+                self._run_lanes(
+                    "ingest_many", self._shard_by_backend(checked), scope,
+                    lane_body,
+                )
+                ok = True
+            finally:
+                if scope.minted:
+                    obs.observe_request_end(
+                        "ingest_many", scope.request_id,
+                        time.perf_counter() - t0, ok=ok,
+                        n_items=len(readings),
+                    )
 
-    def _shard_by_backend(self, sensor_ids: Iterable[str]) -> list[list[str]]:
-        """Partition sensors into one lane per hosting backend, keeping
-        the given order within each lane (a snapshot: mid-batch failover
-        may re-place a sensor, but its lane assignment is decided here,
-        exactly as the sequential path decides its grouping up front)."""
+    def _shard_by_backend(
+        self, sensor_ids: Iterable[str]
+    ) -> list[tuple[int, list[str]]]:
+        """Partition sensors into one ``(backend_index, ids)`` lane per
+        hosting backend, keeping the given order within each lane (a
+        snapshot: mid-batch failover may re-place a sensor, but its lane
+        assignment is decided here, exactly as the sequential path
+        decides its grouping up front)."""
         with self._admission_lock:
             by_backend: dict[int, list[str]] = {}
             for sensor_id in sensor_ids:
                 index = self._placements[sensor_id].backend_index
                 by_backend.setdefault(index, []).append(sensor_id)
-        return [by_backend[index] for index in sorted(by_backend)]
+        return [(index, by_backend[index]) for index in sorted(by_backend)]
+
+    def _run_lanes(
+        self,
+        name: str,
+        lanes: list[tuple[int, list[str]]],
+        scope: reqctx.RequestScope,
+        lane_body: Callable[[list[str]], object],
+    ) -> list[object]:
+        """Run ``lane_body`` over every backend shard under one root span.
+
+        The telemetry contract: one request yields one *connected* trace
+        tree.  Sequentially, each ``lane`` span nests under the root via
+        the tracer's thread-local stack.  Concurrently, executor threads
+        inherit neither the request context nor the span stack — each
+        lane re-binds the parent's :class:`~repro.obs.context.RequestContext`
+        and opens a *detached* span rooted on its own thread; the root
+        adopts the completed lane spans after the join, in lane order,
+        so tree assembly is race-free and deterministic.  Per-lane
+        queue-wait (submit → lane start) and execute time land on the
+        span and in the ``smiler_lane_*`` metrics.
+
+        Lane work order is identical on both paths, preserving the
+        bit-identical concurrency contract.  Returns lane results in
+        lane order and points ``_last_trace`` at the root span.
+        """
+        submit_s = time.perf_counter()
+        concurrent = len(lanes) > 1 and self.max_workers > 1
+
+        def run_lane(lane_index: int, backend_index: int, sensor_ids: list[str]):
+            queue_wait_s = time.perf_counter() - submit_s
+            backend = self._pool.backends[backend_index]
+            with reqctx.adopt(scope.context):
+                span_cm = (
+                    obs.detached_span("lane")
+                    if concurrent
+                    else obs.span("lane")
+                )
+                with span_cm as lane_sp:
+                    if lane_sp is not None:
+                        lane_sp.attrs["lane"] = lane_index
+                        lane_sp.attrs["backend"] = backend_index
+                        lane_sp.attrs["backend_id"] = getattr(
+                            backend, "backend_id", f"backend-{backend_index}"
+                        )
+                        lane_sp.attrs["queue_wait_s"] = queue_wait_s
+                        lane_sp.attrs["n_sensors"] = len(sensor_ids)
+                        lane_sp.attrs["request_id"] = scope.request_id
+                    t_exec = time.perf_counter()
+                    result = lane_body(sensor_ids)
+                obs.observe_lane(
+                    lane_index, backend_index, queue_wait_s,
+                    time.perf_counter() - t_exec, len(sensor_ids),
+                )
+            return result, lane_sp
+
+        with obs.span(name) as root:
+            if root is not None:
+                root.attrs["request_id"] = scope.request_id
+                root.attrs["n_lanes"] = len(lanes)
+                root.attrs["workers"] = (
+                    min(self.max_workers, len(lanes)) if concurrent else 1
+                )
+            if not concurrent:
+                outputs = [
+                    run_lane(i, backend_index, ids)
+                    for i, (backend_index, ids) in enumerate(lanes)
+                ]
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=min(self.max_workers, len(lanes)),
+                    thread_name_prefix=f"smiler-{name}",
+                ) as executor:
+                    # list() drains the iterator so lane exceptions
+                    # propagate.
+                    outputs = list(
+                        executor.map(
+                            run_lane,
+                            range(len(lanes)),
+                            [index for index, _ in lanes],
+                            [ids for _, ids in lanes],
+                        )
+                    )
+                if root is not None:
+                    for _, lane_sp in outputs:
+                        if lane_sp is not None:
+                            root.adopt(lane_sp)
+        if root is not None:
+            self._last_trace = root
+        return [result for result, _ in outputs]
 
     def _resolve_horizon(self, horizon: int | None) -> int:
         if horizon is None:
@@ -678,38 +806,61 @@ class PredictionService:
             raise ValueError(f"level must be in (0, 1), got {level}")
         self._require(sensor_id)
         horizon = self._resolve_horizon(horizon)
-        t0 = time.perf_counter()
-        with obs.span("forecast", self._sensors[sensor_id].backend) as sp:
-            if sp is not None:
-                sp.attrs["sensor_id"] = sensor_id
-                sp.attrs["horizon"] = horizon
-            z_mean, z_variance, source = self._predict_resilient(
-                sensor_id, horizon
+        with reqctx.begin_request("forecast") as scope:
+            t0 = time.perf_counter()
+            if scope.minted:
+                obs.observe_request_start("forecast", scope.request_id)
+            ok = False
+            try:
+                with obs.span(
+                    "forecast", self._sensors[sensor_id].backend
+                ) as sp:
+                    if sp is not None:
+                        sp.attrs["sensor_id"] = sensor_id
+                        sp.attrs["horizon"] = horizon
+                        sp.attrs["request_id"] = scope.request_id
+                    z_mean, z_variance, source = self._predict_resilient(
+                        sensor_id, horizon
+                    )
+                    if sp is not None:
+                        sp.attrs["source"] = source
+                if sp is not None and scope.minted:
+                    # Batch entry points re-point this at their root span
+                    # after the lanes join; a nested forecast must not
+                    # clobber the connected tree mid-batch.
+                    self._last_trace = sp
+                obs.observe_forecast(
+                    sensor_id, horizon, time.perf_counter() - t0
+                )
+                ok = True
+            finally:
+                if scope.minted:
+                    obs.observe_request_end(
+                        "forecast", scope.request_id,
+                        time.perf_counter() - t0, ok=ok,
+                    )
+            degraded = source != "ensemble"
+            if degraded:
+                obs.observe_degraded_forecast(sensor_id, source)
+                logger.info(
+                    "sensor %s served degraded (%s rung) at horizon %d",
+                    sensor_id, source, horizon,
+                )
+            stats = self._norms[sensor_id]
+            mean = float(stats.invert(np.array([z_mean]))[0])
+            raw_variance = float(
+                stats.invert_variance(np.array([z_variance]))[0]
             )
-            if sp is not None:
-                sp.attrs["source"] = source
-        if sp is not None:
-            self._last_trace = sp
-        obs.observe_forecast(sensor_id, horizon, time.perf_counter() - t0)
-        degraded = source != "ensemble"
-        if degraded:
-            obs.observe_degraded_forecast(sensor_id, source)
-            logger.info(
-                "sensor %s served degraded (%s rung) at horizon %d",
-                sensor_id, source, horizon,
+            # The rung validated z_variance > 0; de-normalisation scales by
+            # std^2 > 0, so this is a pure belt-and-braces clamp.
+            std = float(np.sqrt(max(raw_variance, 0.0)))
+            z = float(np.sqrt(2.0) * erfinv(level))
+            return Forecast(
+                sensor_id=sensor_id, horizon=horizon, mean=mean, std=std,
+                interval_low=mean - z * std, interval_high=mean + z * std,
+                level=level, source=source, degraded=degraded,
+                request_id=scope.request_id,
             )
-        stats = self._norms[sensor_id]
-        mean = float(stats.invert(np.array([z_mean]))[0])
-        raw_variance = float(stats.invert_variance(np.array([z_variance]))[0])
-        # The rung validated z_variance > 0; de-normalisation scales by
-        # std^2 > 0, so this is a pure belt-and-braces clamp.
-        std = float(np.sqrt(max(raw_variance, 0.0)))
-        z = float(np.sqrt(2.0) * erfinv(level))
-        return Forecast(
-            sensor_id=sensor_id, horizon=horizon, mean=mean, std=std,
-            interval_low=mean - z * std, interval_high=mean + z * std,
-            level=level, source=source, degraded=degraded,
-        )
 
     def forecast_all(
         self, horizon: int | None = None, level: float = 0.95
@@ -733,39 +884,56 @@ class PredictionService:
         if not 0.0 < level < 1.0:
             raise ValueError(f"level must be in (0, 1), got {level}")
         self._resolve_horizon(horizon)  # reject bad horizons up front
-        lanes = self._shard_by_backend(self.sensor_ids)
+        with reqctx.begin_request("forecast_all") as scope:
+            t0 = time.perf_counter()
+            lanes = self._shard_by_backend(self.sensor_ids)
+            n_items = sum(len(ids) for _, ids in lanes)
+            if scope.minted:
+                obs.observe_request_start(
+                    "forecast_all", scope.request_id, n_items=n_items
+                )
+            ok = False
+            n_errors = 0
+            try:
 
-        def run_lane(
-            sensor_ids: list[str],
-        ) -> tuple[dict[str, Forecast], dict[str, Exception]]:
-            results: dict[str, Forecast] = {}
-            errors: dict[str, Exception] = {}
-            for sensor_id in sensor_ids:
-                try:
-                    results[sensor_id] = self.forecast(sensor_id, horizon, level)
-                except Exception as error:
-                    logger.warning(
-                        "forecast_all: sensor %s failed: %s", sensor_id, error
+                def lane_body(
+                    sensor_ids: list[str],
+                ) -> tuple[dict[str, Forecast], dict[str, Exception]]:
+                    results: dict[str, Forecast] = {}
+                    errors: dict[str, Exception] = {}
+                    for sensor_id in sensor_ids:
+                        try:
+                            results[sensor_id] = self.forecast(
+                                sensor_id, horizon, level
+                            )
+                        except Exception as error:
+                            logger.warning(
+                                "forecast_all: sensor %s failed: %s",
+                                sensor_id, error,
+                            )
+                            errors[sensor_id] = error
+                    return results, errors
+
+                lane_outputs = self._run_lanes(
+                    "forecast_all", lanes, scope, lane_body
+                )
+                results = {}
+                errors = {}
+                for lane_results, lane_errors in lane_outputs:
+                    results.update(lane_results)
+                    errors.update(lane_errors)
+                batch = ForecastBatch(sorted(results.items()))
+                batch.errors = dict(sorted(errors.items()))
+                n_errors = len(batch.errors)
+                ok = True
+                return batch
+            finally:
+                if scope.minted:
+                    obs.observe_request_end(
+                        "forecast_all", scope.request_id,
+                        time.perf_counter() - t0, ok=ok,
+                        n_items=n_items, n_errors=n_errors,
                     )
-                    errors[sensor_id] = error
-            return results, errors
-
-        if len(lanes) <= 1 or self.max_workers <= 1:
-            lane_outputs = [run_lane(lane) for lane in lanes]
-        else:
-            with ThreadPoolExecutor(
-                max_workers=min(self.max_workers, len(lanes)),
-                thread_name_prefix="smiler-forecast",
-            ) as executor:
-                lane_outputs = list(executor.map(run_lane, lanes))
-        results = {}
-        errors = {}
-        for lane_results, lane_errors in lane_outputs:
-            results.update(lane_results)
-            errors.update(lane_errors)
-        batch = ForecastBatch(sorted(results.items()))
-        batch.errors = dict(sorted(errors.items()))
-        return batch
 
     # ------------------------------------------------------------ snapshots
     def snapshot(self, directory) -> list[pathlib.Path]:
@@ -799,8 +967,22 @@ class PredictionService:
         picks the hosting backend before the index is rebuilt — the same
         admission path as :meth:`register`.
         """
-        with self._admission_lock:
-            self._restore_locked(directory)
+        with reqctx.begin_request("restore") as scope:
+            t0 = time.perf_counter()
+            if scope.minted:
+                obs.observe_request_start("restore", scope.request_id)
+            ok = False
+            try:
+                with self._admission_lock:
+                    self._restore_locked(directory)
+                ok = True
+            finally:
+                if scope.minted:
+                    obs.observe_request_end(
+                        "restore", scope.request_id,
+                        time.perf_counter() - t0, ok=ok,
+                        n_items=len(self._sensors),
+                    )
 
     def _restore_locked(self, directory) -> None:
         if self._sensors:
@@ -865,9 +1047,13 @@ class PredictionService:
         return to_json(obs.get_registry())
 
     def trace_last_request(self) -> Span | None:
-        """Span tree of the most recent instrumented ``forecast()`` call.
+        """Span tree of the most recent instrumented request.
 
-        ``None`` until a forecast runs with observability enabled.
+        For a ``forecast()`` this is the single forecast span; for
+        ``forecast_all()`` / ``ingest_many()`` it is the batch root span
+        owning exactly one ``lane`` child per backend shard (connected
+        across worker threads — see :meth:`_run_lanes`).  ``None`` until
+        a request runs with observability enabled.
         """
         return self._last_trace
 
@@ -883,11 +1069,18 @@ class PredictionService:
         with self._admission_lock:
             counts = self.sensors_per_backend()
             sensors = dict(self._sensors)
+        event_log = obs.get_event_log()
         return {
             "n_sensors": len(sensors),
             "device_memory_bytes": self._pool.allocated_bytes,
             "device_sim_seconds": self._pool.elapsed_s,
             "max_workers": self.max_workers,
+            "slo": obs.get_slo_tracker().snapshot(),
+            "events": {
+                "retained": len(event_log),
+                "emitted_total": event_log.emitted_total,
+                "dropped_total": event_log.dropped_total,
+            },
             "backends": [
                 {
                     "name": backend.name,

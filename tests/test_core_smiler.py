@@ -70,12 +70,12 @@ class TestSingleSensor:
         history = periodic_history()
         smiler = SMiLer(history[:700], SMALL)
         out1 = smiler.predict()[1]
-        search_time = smiler.device.elapsed_s
+        search_time = smiler.backend.elapsed_s
         out2 = smiler.predict()[1]
         assert out1.mean == out2.mean
         # The second call reuses the cached kNN answers: no new kernels
         # beyond the (tiny) ensemble work.
-        assert smiler.device.elapsed_s == search_time
+        assert smiler.backend.elapsed_s == search_time
 
     def test_auto_tuning_updates_weights(self):
         history = periodic_history(seed=3)
@@ -134,7 +134,7 @@ class TestFleet:
     def test_fleet_shares_device_memory(self):
         histories = [periodic_history(seed=s)[:600] for s in range(2)]
         fleet = SensorFleet(histories, SMALL)
-        assert fleet.device.allocated_bytes >= fleet.memory_bytes()
+        assert fleet.backend.allocated_bytes >= fleet.memory_bytes()
 
     def test_fleet_out_of_memory(self):
         tiny = GpuDevice(DeviceSpec(memory_bytes=50_000))

@@ -1,0 +1,66 @@
+"""The PR-2 ``.device`` aliases now warn: every public alias emits a
+``DeprecationWarning`` pointing at its ``.backend`` replacement, while
+the real attributes (``SimulatedGpuBackend.device``,
+``ParallelFleet.devices``) stay silent."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import PredictionService, SMiLer, SMiLerConfig
+from repro.backend import NativeBackend, SimulatedGpuBackend
+from repro.core.smiler import SensorFleet
+from repro.harness.search_experiments import SearchScale
+
+CONFIG = SMiLerConfig(
+    elv=(8, 16), ekv=(4, 8), rho=2, omega=4, horizons=(1,), predictor="ar",
+)
+
+
+def history(n: int = 300) -> np.ndarray:
+    return 50.0 + 10.0 * np.sin(np.arange(n) / 9.0)
+
+
+class TestDeviceAliasWarns:
+    def test_prediction_service(self):
+        service = PredictionService(
+            config=CONFIG, backends=NativeBackend(), min_history=256
+        )
+        with pytest.warns(DeprecationWarning, match="PredictionService.device"):
+            alias = service.device
+        assert alias is service.backends[0]
+
+    def test_smiler(self):
+        smiler = SMiLer(history(), CONFIG, backend=NativeBackend())
+        with pytest.warns(DeprecationWarning, match="SMiLer.device"):
+            alias = smiler.device
+        assert alias is smiler.backend
+
+    def test_sensor_fleet(self):
+        fleet = SensorFleet([history()], CONFIG, backend=NativeBackend())
+        with pytest.warns(DeprecationWarning, match="SensorFleet.device"):
+            alias = fleet.device
+        assert alias is fleet.backend
+
+    def test_index_layers(self):
+        smiler = SMiLer(history(), CONFIG, backend=NativeBackend())
+        engine = smiler.engine
+        with pytest.warns(DeprecationWarning, match="SuffixKnnEngine.device"):
+            assert engine.device is engine.backend
+        with pytest.warns(
+            DeprecationWarning, match="WindowLevelIndex.device"
+        ):
+            assert engine.window_index.device is engine.window_index.backend
+
+    def test_search_scale(self):
+        scale = SearchScale(n_sensors=1, n_points=500, continuous_steps=1)
+        with pytest.warns(DeprecationWarning, match="SearchScale.device"):
+            backend = scale.device()
+        assert isinstance(backend, SimulatedGpuBackend)
+
+    def test_simulated_backend_device_is_not_deprecated(self):
+        backend = SimulatedGpuBackend()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert backend.device is not None  # the real GpuDevice attr

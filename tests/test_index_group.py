@@ -124,9 +124,9 @@ class TestBoundCorrectness:
     def test_gpu_accounting(self):
         series = make_series(100)
         group = build_group(series, (8, 16), 4, 2)
-        before = group.device.elapsed_s
+        before = group.backend.elapsed_s
         group.compute()
-        assert group.device.elapsed_s > before
+        assert group.backend.elapsed_s > before
 
 
 class TestAlgorithm1Reference:

@@ -49,7 +49,7 @@ class TestBuild:
     def test_build_counts_gpu_time(self):
         series = make_series(64)
         idx = fresh_index(series, series[-12:])
-        assert idx.device.elapsed_s > 0
+        assert idx.backend.elapsed_s > 0
 
 
 class TestContinuousReuse:

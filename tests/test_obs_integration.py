@@ -141,7 +141,7 @@ class TestMetricsExport:
         obs.enable()
         service = make_service(predictor="ar")
         gauge = obs.get_registry().get("smiler_gpu_memory_allocated_bytes")
-        assert gauge.value() == service.device.allocated_bytes > 0
+        assert gauge.value() == service.backends[0].allocated_bytes > 0
         service.deregister("s0")
         assert gauge.value() == 0
 

@@ -64,23 +64,23 @@ class TestRegistration:
     def test_deregister_frees_device_memory(self):
         service = make_service()
         service.register("s1", raw_history())
-        assert service.device.allocated_bytes > 0
+        assert service.backends[0].allocated_bytes > 0
         service.deregister("s1")
-        assert service.device.allocated_bytes == 0
+        assert service.backends[0].allocated_bytes == 0
 
     def test_register_deregister_loop_never_exhausts_device(self):
         """Regression: deregister used to leak the register() allocation,
         so churning sensors eventually raised a spurious GpuMemoryError."""
         probe = make_service()
         probe.register("s", raw_history())
-        footprint = probe.device.allocated_bytes
+        footprint = probe.backends[0].allocated_bytes
         # Headroom for ~2 sensors: any leak blows up within a few laps.
         device = GpuDevice(DeviceSpec(memory_bytes=int(2.5 * footprint)))
         service = make_service(backends=device)
         for _ in range(50):
             service.register("s", raw_history())
             service.deregister("s")
-        assert service.device.allocated_bytes == 0
+        assert service.backends[0].allocated_bytes == 0
 
 
 class TestSensorIdValidation:
@@ -116,7 +116,7 @@ class TestSensorIdValidation:
         service = make_service()
         with pytest.raises(ValueError):
             service.register("bad/id", raw_history())
-        assert service.device.allocated_bytes == 0
+        assert service.backends[0].allocated_bytes == 0
 
 
 class TestServing:
