@@ -42,6 +42,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.backend import make_backend  # noqa: E402
 from repro.core import SMiLerConfig  # noqa: E402
+from repro.exec import ENGINE_NAMES  # noqa: E402
 from repro.service import PredictionService, ServiceConfig  # noqa: E402
 
 CONFIG = SMiLerConfig(
@@ -64,19 +65,21 @@ def make_workload(n_sensors: int, n_points: int, n_future: int):
     return histories, futures
 
 
-def build_service(backend_name: str, n_backends: int, workers: int):
+def build_service(backend_name: str, n_backends: int, workers: int,
+                  engine: str | None):
     backends = [make_backend(backend_name) for _ in range(n_backends)]
     return PredictionService(
         CONFIG,
         backends=backends,
         min_history=100,
-        service_config=ServiceConfig(max_workers=workers),
+        service_config=ServiceConfig(max_workers=workers, engine=engine),
     )
 
 
 def run_one(backend_name, n_backends, workers, histories, futures,
-            warmup, rounds):
-    service = build_service(backend_name, n_backends, workers)
+            warmup, rounds, engine=None):
+    service = build_service(backend_name, n_backends, workers, engine)
+    engine_name = service.status()["engine"]
     for sensor_id, history in histories.items():
         service.register(sensor_id, history)
     step = 0
@@ -86,8 +89,9 @@ def run_one(backend_name, n_backends, workers, histories, futures,
             {sid: float(futures[sid][step]) for sid in histories}
         )
         step += 1
-    for backend in service.backends:
-        backend.reset_time()
+    # Engine-aware: the process engine must forward the reset to its
+    # live workers, not just zero the parent's backend copies.
+    service.reset_time()
     latencies, batches = [], []
     t_start = time.perf_counter()
     for _ in range(rounds):
@@ -100,10 +104,13 @@ def run_one(backend_name, n_backends, workers, histories, futures,
         )
         step += 1
     wall_total = time.perf_counter() - t_start
+    # Flush worker state back to the parent before reading the ledgers.
+    service.close()
     sim_seconds = [backend.elapsed_s for backend in service.backends]
     latencies = np.asarray(latencies)
     return {
         "workers": workers,
+        "engine": engine_name,
         "p50_batch_s": float(np.percentile(latencies, 50)),
         "p99_batch_s": float(np.percentile(latencies, 99)),
         "throughput_forecasts_per_s": float(
@@ -133,6 +140,11 @@ def main(argv=None) -> int:
     parser.add_argument("--warmup", type=int, default=1)
     parser.add_argument("--rounds", type=int, default=8)
     parser.add_argument(
+        "--engine", choices=ENGINE_NAMES, default=None,
+        help="execution engine for every run (default: resolved per "
+        "worker count — inline at 1, thread lanes above)",
+    )
+    parser.add_argument(
         "--out", type=pathlib.Path,
         default=pathlib.Path(__file__).resolve().parent.parent
         / "BENCH_serving.json",
@@ -159,7 +171,7 @@ def main(argv=None) -> int:
     for workers in workers_list:
         result, batches = run_one(
             args.backend, args.backends, workers, histories, futures,
-            args.warmup, args.rounds,
+            args.warmup, args.rounds, engine=args.engine,
         )
         if reference_batches is None:
             reference_batches = batches
@@ -184,7 +196,8 @@ def main(argv=None) -> int:
             )
         results.append(result)
         print(
-            f"workers={workers}: p50={result['p50_batch_s'] * 1e3:.1f}ms "
+            f"workers={workers} engine={result['engine']}: "
+            f"p50={result['p50_batch_s'] * 1e3:.1f}ms "
             f"p99={result['p99_batch_s'] * 1e3:.1f}ms "
             f"throughput={result['throughput_forecasts_per_s']:.0f}/s "
             f"wall-speedup={result['wall_speedup_vs_sequential']:.2f}x "
@@ -205,10 +218,27 @@ def main(argv=None) -> int:
             "history_points": args.history,
             "warmup_rounds": args.warmup,
             "measured_rounds": args.rounds,
+            "engine": args.engine,
         },
         "host": {"cpu_count": os.cpu_count()},
         "results": results,
     }
+    canonical = (
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+    )
+    noise = [
+        r["workers"] for r in results
+        if r["workers"] > 1 and not r["wall_speedup_meaningful"]
+    ]
+    if args.out.resolve() == canonical and noise:
+        print(
+            f"ERROR: refusing to publish {canonical.name}: wall speedups "
+            f"for workers={noise} are noise on this host "
+            f"(cpu_count={cpu_count}).  Re-run on a host with more cores, "
+            "or write elsewhere with --out for a local look.",
+            file=sys.stderr,
+        )
+        return 1
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
     return 0

@@ -150,6 +150,19 @@ class NativeBackend:
         """Remaining capacity (a very large number when unbounded)."""
         return self._capacity - self._allocated
 
+    # ------------------------------------------------------------- pickling
+    # Backends cross the process boundary when a shard worker flushes its
+    # state back to the serving process; locks don't pickle, so each side
+    # owns a fresh one (the transfer happens from a quiesced state).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         bound = self.capacity_bytes if self.capacity_bytes else "unbounded"
         return f"NativeBackend(allocated={self._allocated}, capacity={bound})"

@@ -39,6 +39,7 @@ import sys
 
 from . import harness, obs
 from .backend import BACKEND_NAMES, make_backend
+from .exec import ENGINE_NAMES
 from .faults import FAULT_PROFILE_NAMES
 from .core import SMiLerConfig
 from .harness import AccuracyScale, SearchScale
@@ -146,6 +147,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "REPRO_MAX_WORKERS, else sequential) — results are bit-identical "
         "at any worker count",
     )
+    demo.add_argument(
+        "--engine", choices=ENGINE_NAMES, default=None,
+        help="execution engine (default: REPRO_EXEC, else resolved from "
+        "the worker count) — results are bit-identical on every engine",
+    )
 
     stats = sub.add_parser(
         "stats", help="short instrumented serving loop: trace + metrics"
@@ -175,6 +181,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "REPRO_MAX_WORKERS, else sequential)",
     )
     stats.add_argument(
+        "--engine", choices=ENGINE_NAMES, default=None,
+        help="execution engine (default: REPRO_EXEC, else resolved from "
+        "the worker count)",
+    )
+    stats.add_argument(
         "--events", type=int, default=10, metavar="N",
         help="show the last N structured event-log lines (default: 10)",
     )
@@ -200,6 +211,12 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--workers", type=int, default=4, metavar="N",
         help="serving thread-pool lanes (default: 4)",
+    )
+    trace.add_argument(
+        "--engine", choices=ENGINE_NAMES, default=None,
+        help="execution engine; 'process' shows one shard worker process "
+        "per lane in the exported trace (default: REPRO_EXEC, else "
+        "resolved from the worker count)",
     )
     trace.add_argument(
         "--steps", type=int, default=2,
@@ -257,6 +274,7 @@ def _run_experiment(
 def _run_demo(
     dataset: str, steps: int, predictor: str, backend: str,
     fault_profile: str | None = None, workers: int | None = None,
+    engine: str | None = None,
 ) -> str:
     if steps <= 0:
         raise SystemExit("--steps must be positive")
@@ -270,27 +288,30 @@ def _run_demo(
         config=SMiLerConfig(predictor=predictor),
         backends=make_backend(backend, fault_profile=fault_profile),
         normalize=False,
-        service_config=ServiceConfig(max_workers=workers),
+        service_config=ServiceConfig(max_workers=workers, engine=engine),
     )
     service.register("demo", history.values)
     lines = [f"{dataset.upper()} sensor, SMiLer-{predictor.upper()} "
              f"({backend} backend), {steps} continuous steps",
              "step  prediction   truth     source"]
-    for step in range(steps):
-        forecast = service.forecast("demo")
-        truth = float(tail[step])
-        lines.append(
-            f"{step:4d}   {forecast.mean:+8.4f}  {truth:+8.4f}  "
-            f"{forecast.source}"
-        )
-        service.ingest("demo", truth)
+    try:
+        for step in range(steps):
+            forecast = service.forecast("demo")
+            truth = float(tail[step])
+            lines.append(
+                f"{step:4d}   {forecast.mean:+8.4f}  {truth:+8.4f}  "
+                f"{forecast.source}"
+            )
+            service.ingest("demo", truth)
+    finally:
+        service.close()
     return "\n".join(lines)
 
 
 def _run_stats(
     dataset: str, steps: int, predictor: str, fmt: str, backend: str,
     fault_profile: str | None = None, workers: int | None = None,
-    events: int = 10,
+    events: int = 10, engine: str | None = None,
 ) -> str:
     """A short instrumented serving loop: last-request trace + metrics."""
     if steps <= 0:
@@ -307,7 +328,7 @@ def _run_stats(
             config=SMiLerConfig(predictor=predictor),
             backends=make_backend(backend, fault_profile=fault_profile),
             min_history=min(256, history.values.size),
-            service_config=ServiceConfig(max_workers=workers),
+            service_config=ServiceConfig(max_workers=workers, engine=engine),
         )
         service.register("demo-sensor", history.values)
         service.forecast("demo-sensor")
@@ -317,6 +338,7 @@ def _run_stats(
         for step in range(steps):
             service.ingest("demo-sensor", float(tail[step]))
             service.forecast("demo-sensor")
+        service.close()  # drains worker-held telemetry on the process engine
     finally:
         if not was_enabled:
             obs.disable()
@@ -366,6 +388,7 @@ def _run_trace(
     backend: str,
     fault_profile: str | None = None,
     metrics_out: pathlib.Path | None = None,
+    engine: str | None = None,
 ) -> str:
     """Instrumented multi-sensor loop → Chrome trace-event export."""
     if steps <= 0:
@@ -388,7 +411,7 @@ def _run_trace(
                 for _ in range(n_backends)
             ],
             min_history=256,
-            service_config=ServiceConfig(max_workers=workers),
+            service_config=ServiceConfig(max_workers=workers, engine=engine),
         )
         tails = {}
         for i in range(sensors):
@@ -403,6 +426,7 @@ def _run_trace(
                 )
             batch = service.forecast_all()
         root = service.trace_last_request()
+        service.close()  # drains worker-held telemetry on the process engine
         request_id = str(root.attrs.get("request_id", "")) or None
         obs.write_chrome_trace(
             out, root, event_log=obs.get_event_log(), request_id=request_id
@@ -458,20 +482,21 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "demo":
         print(_run_demo(
             args.dataset, args.steps, args.predictor, args.backend,
-            args.fault_profile, args.workers,
+            args.fault_profile, args.workers, args.engine,
         ))
         return 0
     if args.command == "stats":
         print(_run_stats(
             args.dataset, args.steps, args.predictor, args.format,
             args.backend, args.fault_profile, args.workers, args.events,
+            args.engine,
         ))
         return 0
     if args.command == "trace":
         print(_run_trace(
             args.out, args.dataset, args.sensors, args.backends,
             args.workers, args.steps, args.predictor, args.backend,
-            args.fault_profile, args.metrics_out,
+            args.fault_profile, args.metrics_out, args.engine,
         ))
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -12,7 +12,7 @@ from .persistence import (
     save_smiler,
 )
 from .predictor import GaussianPrediction, SemiLazyPredictor
-from .scaleout import MultiGpuFleet, truncate_history
+from .scaleout import plan_lanes, truncate_history
 from .smiler import SensorFleet, SMiLer
 
 __all__ = [
@@ -29,7 +29,7 @@ __all__ = [
     "load_smiler",
     "load_snapshot",
     "save_smiler",
-    "MultiGpuFleet",
+    "plan_lanes",
     "truncate_history",
     "SemiLazyPredictor",
     "SensorFleet",

@@ -2,12 +2,16 @@
 
 The paper names two ways to host more sensors than one 6 GB card fits:
 
-1. **multiple GPUs** — :class:`MultiGpuFleet` shards sensors across a
-   pool of simulated devices, placing each sensor on the device with the
-   most free memory (greedy balancing) and raising only when the whole
-   pool is exhausted.  The class is now a thin compatibility shim over
-   :class:`repro.service.PredictionService`, which owns the one
-   placement/allocation path for the whole system;
+1. **multiple GPUs** — shard sensors across a pool of devices.  The one
+   placement/allocation path lives in
+   :class:`repro.backend.pool.BackendPool` (greedy most-free balancing,
+   circuit breakers), driven by :class:`repro.service.PredictionService`.
+   :func:`plan_lanes` is the bridge from a placement snapshot to the
+   engine-consumable lane plans (:class:`repro.exec.base.LanePlan`) that
+   every execution engine — inline, thread or process-per-shard — runs
+   batches through.  (The historical ``MultiGpuFleet`` facade over this
+   path has been removed; construct a ``PredictionService`` with several
+   backends instead.)
 2. **less history per sensor** — trading accuracy for space.  SMiLer
    accepts a truncated history directly; :func:`truncate_history`
    implements the policy (keep the most recent fraction) and the
@@ -16,14 +20,13 @@ The paper names two ways to host more sensors than one 6 GB card fits:
 
 from __future__ import annotations
 
+from typing import Iterable, Mapping
+
 import numpy as np
 
-from ..backend.simulated import SimulatedGpuBackend
-from ..gpu.costmodel import DeviceSpec
-from .config import SMiLerConfig
-from .smiler import SMiLer
+from ..exec.base import LanePlan
 
-__all__ = ["MultiGpuFleet", "truncate_history"]
+__all__ = ["plan_lanes", "truncate_history"]
 
 
 def truncate_history(values: np.ndarray, fraction: float) -> np.ndarray:
@@ -41,90 +44,28 @@ def truncate_history(values: np.ndarray, fraction: float) -> np.ndarray:
     return values[-keep:]
 
 
-class MultiGpuFleet:
-    """Sensors sharded over several simulated GPUs.
+def plan_lanes(
+    placements: Mapping[str, int], sensor_ids: Iterable[str]
+) -> list[LanePlan]:
+    """Turn a placement snapshot into one :class:`LanePlan` per shard.
 
-    A compatibility shim: all placement and bookkeeping is delegated to
-    :class:`repro.service.PredictionService` running un-normalised
-    (fleet callers feed z-scored values themselves), so the greedy
-    balancing, per-device counts and busiest-device fleet time behave
-    exactly as before — now with estimate-first placement, i.e. each
-    sensor's index is built once, on the device that hosts it.
+    ``placements`` maps sensor id to hosting backend index (a
+    point-in-time snapshot of the pool's placement table);
+    ``sensor_ids`` fixes the order sensors appear *within* their lane.
+    Lanes come back sorted by backend index and carry only the backends
+    that actually host work — this (backend order, per-backend sensor
+    order) pair is the entire bit-identical contract execution engines
+    must honour, so it is computed exactly once, here, rather than once
+    per engine.
     """
-
-    def __init__(
-        self,
-        histories: list[np.ndarray],
-        config: SMiLerConfig | None = None,
-        n_devices: int = 2,
-        spec: DeviceSpec | None = None,
-    ) -> None:
-        # Imported here: repro.service imports this package (repro.core).
-        from ..service import PredictionService
-
-        if not histories:
-            raise ValueError("a fleet needs at least one sensor")
-        if n_devices <= 0:
-            raise ValueError(f"n_devices must be positive, got {n_devices}")
-        self.config = config or SMiLerConfig()
-        self._service = PredictionService(
-            self.config,
-            backends=[
-                SimulatedGpuBackend(spec=spec or DeviceSpec())
-                for _ in range(n_devices)
-            ],
-            min_history=1,
-            normalize=False,
+    by_backend: dict[int, list[str]] = {}
+    for sensor_id in sensor_ids:
+        by_backend.setdefault(placements[sensor_id], []).append(sensor_id)
+    return [
+        LanePlan(
+            lane_index=lane_index,
+            backend_index=backend_index,
+            sensor_ids=tuple(by_backend[backend_index]),
         )
-        self._order = [f"sensor-{i}" for i in range(len(histories))]
-        for sensor_id, history in zip(self._order, histories):
-            self._service.register(
-                sensor_id, np.asarray(history, dtype=np.float64)
-            )
-
-    @property
-    def service(self) -> "object":
-        """The PredictionService doing the actual work."""
-        return self._service
-
-    @property
-    def devices(self) -> list[SimulatedGpuBackend]:
-        """The pool's backends, in placement order."""
-        return self._service.backends
-
-    @property
-    def sensors(self) -> list[SMiLer]:
-        """SMiLer instances in registration order."""
-        return [self._service.sensor(sid) for sid in self._order]
-
-    @property
-    def placement(self) -> list[int]:
-        """Device index hosting each sensor, in registration order."""
-        return [self._service.placement_of(sid) for sid in self._order]
-
-    def __len__(self) -> int:
-        return len(self._order)
-
-    def predict_all(self, horizon: int | None = None):
-        """Predictions for every sensor in the fleet."""
-        return [sensor.predict(horizon) for sensor in self.sensors]
-
-    def observe_all(self, values) -> None:
-        """Feed each sensor its newly revealed true value."""
-        values = np.asarray(values, dtype=np.float64).ravel()
-        if values.size != len(self._order):
-            raise ValueError(
-                f"{values.size} values for {len(self._order)} sensors"
-            )
-        self._service.ingest_many(
-            {sid: float(v) for sid, v in zip(self._order, values)}
-        )
-
-    def sensors_per_device(self) -> list[int]:
-        """Sensor count hosted on each device."""
-        return self._service.sensors_per_backend()
-
-    def total_elapsed_s(self) -> float:
-        """Simulated device time: the pool runs in parallel, so the fleet
-        step time is the busiest device's time."""
-        return max(device.elapsed_s for device in self.devices)
+        for lane_index, backend_index in enumerate(sorted(by_backend))
+    ]

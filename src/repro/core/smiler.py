@@ -17,7 +17,6 @@ Fig. 12(c).
 
 from __future__ import annotations
 
-import warnings
 import logging
 from collections import deque
 from dataclasses import dataclass, field
@@ -102,16 +101,6 @@ class SMiLer:
         )
 
     # ---------------------------------------------------------------- state
-    @property
-    def device(self) -> ComputeBackend:
-        """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
-        warnings.warn(
-            "SMiLer.device is deprecated; use SMiLer.backend",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.backend
-
     @property
     def now(self) -> int:
         """Index of the next unobserved point of this sensor's stream."""
@@ -336,16 +325,6 @@ class SensorFleet:
             )
             self.backend.malloc(sensor.memory_bytes(), label=sensor.sensor_id)
             self.sensors.append(sensor)
-
-    @property
-    def device(self) -> ComputeBackend:
-        """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
-        warnings.warn(
-            "SensorFleet.device is deprecated; use SensorFleet.backend",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.backend
 
     def __len__(self) -> int:
         return len(self.sensors)

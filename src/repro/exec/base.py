@@ -1,0 +1,195 @@
+"""The :class:`ExecutionEngine` contract and the shared op interpreter.
+
+An engine receives *lane tasks*: one per backend shard, each carrying a
+:class:`LanePlan` (which backend, which sensors, in which order) and a
+flat tuple of declarative operations.  Ops are plain tuples so they can
+cross a process boundary without pickling::
+
+    ("forecast", sensor_id, horizon | None, level)
+    ("ingest",   sensor_id, value)
+
+The engine must execute every lane's ops **in order** — that per-backend
+op order is the whole bit-identical concurrency contract (each backend's
+kernel stream, simulated-time ledger and fault-injection tick sequence
+depend only on it) — and return one outcome per op::
+
+    ("ok", Forecast | None)    # forecast served / reading applied
+    ("err", Exception)         # forecast failed; lands in batch.errors
+
+Engines also own the batch telemetry shape: one root span per request
+with one adopted ``lane`` child per shard, per-lane queue-wait/execute
+attribution via :func:`repro.obs.hooks.observe_lane`, and
+``service._last_trace`` pointed at the connected tree.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service -> exec)
+    from ..obs.context import RequestScope
+    from ..service import PredictionService
+
+__all__ = [
+    "ENGINE_ENV_VAR",
+    "ENGINE_NAMES",
+    "ExecutionEngine",
+    "LanePlan",
+    "LaneTask",
+    "execute_ops",
+    "make_engine",
+    "resolve_engine_name",
+]
+
+#: Environment variable selecting the engine when
+#: :attr:`~repro.service.ServiceConfig.engine` is unset.
+ENGINE_ENV_VAR = "REPRO_EXEC"
+
+#: Engine names accepted by config / environment / ``--engine``.
+ENGINE_NAMES = ("inline", "thread", "process")
+
+
+@dataclass(frozen=True)
+class LanePlan:
+    """One backend shard's slice of a batch: an engine-consumable view
+    of the pool's placement snapshot (see
+    :func:`repro.core.scaleout.plan_lanes`)."""
+
+    lane_index: int
+    backend_index: int
+    sensor_ids: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class LaneTask:
+    """A lane plan plus the ops to run on it, in execution order."""
+
+    plan: LanePlan
+    ops: tuple[tuple, ...]
+
+
+def execute_ops(service: "PredictionService", ops: Sequence[tuple]) -> list:
+    """Interpret one lane's op stream against a service, in order.
+
+    This is the one interpreter every engine funnels through — inline
+    and thread lanes run it on the serving process, the process engine
+    runs it inside each shard's worker — so op semantics (what a
+    ``forecast`` op catches, what an ``ingest`` op propagates) cannot
+    drift between engines.
+    """
+    outcomes: list = []
+    for op in ops:
+        if op[0] == "forecast":
+            _, sensor_id, horizon, level = op
+            try:
+                outcomes.append(("ok", service.forecast(sensor_id, horizon, level)))
+            except Exception as error:  # noqa: BLE001 - per-sensor side-channel
+                outcomes.append(("err", error))
+        elif op[0] == "ingest":
+            _, sensor_id, value = op
+            # Validation happened at the batch entry point; failures here
+            # are absorbed by the resilience path, so an ingest op only
+            # propagates genuinely unexpected errors (failing the lane,
+            # exactly as the pre-engine sequential path did).
+            service._observe_resilient(sensor_id, value)
+            outcomes.append(("ok", None))
+        else:  # pragma: no cover - programming error
+            raise ValueError(f"unknown lane op {op[0]!r}")
+    return outcomes
+
+
+class ExecutionEngine(abc.ABC):
+    """Strategy object owning how a service's lanes actually execute."""
+
+    #: Engine name as selected by config / ``REPRO_EXEC`` / ``--engine``.
+    name: str = "abstract"
+
+    def __init__(self, service: "PredictionService") -> None:
+        self._service = service
+
+    @property
+    def service(self) -> "PredictionService":
+        return self._service
+
+    @abc.abstractmethod
+    def run_batch(
+        self,
+        entry_point: str,
+        scope: "RequestScope",
+        tasks: list[LaneTask],
+    ) -> list[list]:
+        """Run every lane's ops; return per-lane outcome lists, in lane
+        order.  Must execute each lane's ops in op order and leave
+        ``service._last_trace`` pointing at the request's root span when
+        observability is enabled."""
+
+    @abc.abstractmethod
+    def forecast_single(self, sensor_id: str, horizon: int, level: float):
+        """Serve one validated single-sensor forecast."""
+
+    @abc.abstractmethod
+    def ingest_single(self, sensor_id: str, value: float) -> None:
+        """Apply one validated single-sensor reading."""
+
+    def mutating(self):
+        """Context manager the service enters around any fleet-membership
+        mutation (register / deregister / restore / evacuate / snapshot).
+        Engines that replicate state elsewhere use it to reclaim
+        authority first; local engines need nothing."""
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def refresh(self) -> None:
+        """Make the service's in-process view of sensor state current
+        (no-op for engines that never move state off-process)."""
+
+    def reset_time(self) -> None:
+        """Zero every backend's simulated-time ledger, wherever the
+        authoritative backend objects currently live."""
+        for backend in self._service.backends:
+            backend.reset_time()
+
+    def close(self) -> None:
+        """Release engine resources (worker processes, shared memory).
+        The service remains usable; a later batch may restart workers."""
+
+
+def resolve_engine_name(explicit: str | None, resolved_workers: int) -> str:
+    """Engine selection: explicit config beats ``REPRO_EXEC`` beats the
+    historical default (threads when ``max_workers`` > 1, else inline)."""
+    for origin, value in (("engine=", explicit), (ENGINE_ENV_VAR, None)):
+        if origin == ENGINE_ENV_VAR:
+            value = os.environ.get(ENGINE_ENV_VAR)
+            if value is not None:
+                value = value.strip()
+            if not value:
+                continue
+        if value is None:
+            continue
+        if value not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown execution engine {value!r} (from {origin}); "
+                f"available: {ENGINE_NAMES}"
+            )
+        return value
+    return "thread" if resolved_workers > 1 else "inline"
+
+
+def make_engine(name: str, service: "PredictionService") -> ExecutionEngine:
+    """Construct an engine by resolved name."""
+    from .local import InlineEngine, ThreadLaneEngine
+    from .process import ProcessShardEngine
+
+    if name == "inline":
+        return InlineEngine(service)
+    if name == "thread":
+        return ThreadLaneEngine(service)
+    if name == "process":
+        return ProcessShardEngine(service)
+    raise ValueError(
+        f"unknown execution engine {name!r}; available: {ENGINE_NAMES}"
+    )

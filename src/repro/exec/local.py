@@ -1,0 +1,136 @@
+"""In-process engines: the sequential path and thread-pool lanes.
+
+Both run the shared op interpreter (:func:`repro.exec.base.execute_ops`)
+on the serving process; they differ only in *where* each lane runs.
+This module is the old ``PredictionService._run_lanes`` carved out
+behind the engine seam — the telemetry shape (one root span adopting one
+``lane`` child per shard, queue-wait/execute attribution, connected
+across worker threads) is unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from ..obs import context as reqctx
+from ..obs import hooks as obs
+from .base import ExecutionEngine, LaneTask, execute_ops
+
+__all__ = ["InlineEngine", "ThreadLaneEngine"]
+
+
+class InlineEngine(ExecutionEngine):
+    """Every lane on the calling thread — the exact sequential path."""
+
+    name = "inline"
+
+    def run_batch(self, entry_point, scope, tasks):
+        return _run_lanes(self, entry_point, scope, tasks, workers=1)
+
+    def forecast_single(self, sensor_id, horizon, level):
+        return self._service._forecast_local(sensor_id, horizon, level)
+
+    def ingest_single(self, sensor_id, value):
+        self._service._ingest_local(sensor_id, value)
+
+
+class ThreadLaneEngine(ExecutionEngine):
+    """One thread-pool lane per backend shard.
+
+    Lanes overlap wherever NumPy drops the GIL; per-backend op order —
+    and therefore every numeric result — is identical to
+    :class:`InlineEngine` because each backend's whole op stream stays
+    on exactly one lane.  ``max_workers`` (from
+    :class:`~repro.service.ServiceConfig`) bounds the pool; a single
+    lane or a single worker degenerates to the inline path.
+    """
+
+    name = "thread"
+
+    def run_batch(self, entry_point, scope, tasks):
+        return _run_lanes(
+            self, entry_point, scope, tasks,
+            workers=self._service.max_workers,
+        )
+
+    def forecast_single(self, sensor_id, horizon, level):
+        return self._service._forecast_local(sensor_id, horizon, level)
+
+    def ingest_single(self, sensor_id, value):
+        self._service._ingest_local(sensor_id, value)
+
+
+def _run_lanes(
+    engine: ExecutionEngine,
+    name: str,
+    scope: reqctx.RequestScope,
+    tasks: list[LaneTask],
+    workers: int,
+) -> list[list]:
+    """Run every lane under one root span; returns per-lane outcomes.
+
+    The telemetry contract: one request yields one *connected* trace
+    tree.  Sequentially, each ``lane`` span nests under the root via the
+    tracer's thread-local stack.  Concurrently, executor threads inherit
+    neither the request context nor the span stack — each lane re-binds
+    the parent's :class:`~repro.obs.context.RequestContext` and opens a
+    *detached* span rooted on its own thread; the root adopts the
+    completed lane spans after the join, in lane order, so tree assembly
+    is race-free and deterministic.  Per-lane queue-wait (submit → lane
+    start) and execute time land on the span and in the
+    ``smiler_lane_*`` metrics.
+    """
+    service = engine.service
+    submit_s = time.perf_counter()
+    concurrent = len(tasks) > 1 and workers > 1
+
+    def run_lane(task: LaneTask):
+        queue_wait_s = time.perf_counter() - submit_s
+        plan = task.plan
+        backend = service.backends[plan.backend_index]
+        with reqctx.adopt(scope.context):
+            span_cm = (
+                obs.detached_span("lane") if concurrent else obs.span("lane")
+            )
+            with span_cm as lane_sp:
+                if lane_sp is not None:
+                    lane_sp.attrs["lane"] = plan.lane_index
+                    lane_sp.attrs["backend"] = plan.backend_index
+                    lane_sp.attrs["backend_id"] = getattr(
+                        backend, "backend_id", f"backend-{plan.backend_index}"
+                    )
+                    lane_sp.attrs["queue_wait_s"] = queue_wait_s
+                    lane_sp.attrs["n_sensors"] = len(plan.sensor_ids)
+                    lane_sp.attrs["request_id"] = scope.request_id
+                t_exec = time.perf_counter()
+                outcomes = execute_ops(service, task.ops)
+            obs.observe_lane(
+                plan.lane_index, plan.backend_index, queue_wait_s,
+                time.perf_counter() - t_exec, len(plan.sensor_ids),
+            )
+        return outcomes, lane_sp
+
+    with obs.span(name) as root:
+        if root is not None:
+            root.attrs["request_id"] = scope.request_id
+            root.attrs["n_lanes"] = len(tasks)
+            root.attrs["workers"] = (
+                min(workers, len(tasks)) if concurrent else 1
+            )
+        if not concurrent:
+            outputs = [run_lane(task) for task in tasks]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(tasks)),
+                thread_name_prefix=f"smiler-{name}",
+            ) as executor:
+                # list() drains the iterator so lane exceptions propagate.
+                outputs = list(executor.map(run_lane, tasks))
+            if root is not None:
+                for _, lane_sp in outputs:
+                    if lane_sp is not None:
+                        root.adopt(lane_sp)
+    if root is not None:
+        service._last_trace = root
+    return [outcomes for outcomes, _ in outputs]

@@ -204,8 +204,26 @@ class FaultInjectingBackend:
         """Inner ledger passthrough."""
         return self.inner.free_bytes
 
+    # ------------------------------------------------------------- pickling
+    # Wrapped backends cross the process boundary (RNG stream, tick and
+    # injected-latency ledger included, so injection sequences continue
+    # exactly where they left off); locks don't pickle, so each side owns
+    # a fresh one (the transfer happens from a quiesced state).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     def __getattr__(self, attr: str):
         # Transparency for backend-specific extras (.device, .spec, .cost).
+        # The explicit guard keeps attribute probes on a half-constructed
+        # instance (unpickling) from recursing through ``self.inner``.
+        if attr == "inner":
+            raise AttributeError(attr)
         return getattr(self.inner, attr)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -110,6 +110,19 @@ class GpuDevice:
         """Live allocations in allocation order."""
         return sorted(self._live.values(), key=lambda a: a.serial)
 
+    # ------------------------------------------------------------- pickling
+    # Devices cross the process boundary when a shard worker flushes its
+    # state back to the serving process; locks don't pickle, so each side
+    # owns a fresh one (the transfer happens from a quiesced state).
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_mem_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mem_lock = threading.RLock()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"GpuDevice({self.spec.name!r}, allocated={self._allocated}, "

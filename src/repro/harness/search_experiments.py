@@ -8,7 +8,6 @@ accounts exactly, so winners and approximate ratios mirror the paper.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -64,15 +63,6 @@ class SearchScale:
                 launch_overhead_s=self.launch_overhead_s, work_conserving=True
             )
         )
-
-    def device(self) -> SimulatedGpuBackend:
-        """Deprecated alias for :meth:`backend`."""
-        warnings.warn(
-            "SearchScale.device is deprecated; use SearchScale.backend",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.backend()
 
 
 def _sensor_streams(dataset: str, scale: SearchScale) -> list[np.ndarray]:

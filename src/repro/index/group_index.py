@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import warnings
 import numpy as np
 
 from ..backend.base import ComputeBackend
@@ -84,16 +83,6 @@ class GroupLevelIndex:
         self.window_index = window_index
         self.item_lengths = lengths
         self.backend = backend if backend is not None else window_index.backend
-
-    @property
-    def device(self) -> ComputeBackend:
-        """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
-        warnings.warn(
-            "GroupLevelIndex.device is deprecated; use GroupLevelIndex.backend",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.backend
 
     def compute(self) -> dict[int, ItemLowerBounds]:
         """One pass of Algorithm 1: bounds for every item query."""

@@ -27,7 +27,6 @@ repeats with threshold reuse.
 
 from __future__ import annotations
 
-import warnings
 import logging
 from dataclasses import dataclass, field
 
@@ -121,16 +120,6 @@ class SuffixKnnEngine:
         self._previous_knn: dict[int, np.ndarray] = {}
 
     # ---------------------------------------------------------------- state
-    @property
-    def device(self) -> ComputeBackend:
-        """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
-        warnings.warn(
-            "SuffixKnnEngine.device is deprecated; use SuffixKnnEngine.backend",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.backend
-
     @property
     def series(self) -> np.ndarray:
         """Current series contents (read-only view)."""

@@ -34,7 +34,6 @@ Fig. 7/8 cost accounting.
 
 from __future__ import annotations
 
-import warnings
 import numpy as np
 
 from ..backend.base import ComputeBackend, as_backend
@@ -95,16 +94,6 @@ class WindowLevelIndex:
         self.columns_recomputed_lbec = 0
 
     # ---------------------------------------------------------------- views
-    @property
-    def device(self) -> ComputeBackend:
-        """Deprecated alias for :attr:`backend` (pre-backend-layer name)."""
-        warnings.warn(
-            "WindowLevelIndex.device is deprecated; use WindowLevelIndex.backend",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.backend
-
     @property
     def series(self) -> np.ndarray:
         """Current series contents (read-only view)."""

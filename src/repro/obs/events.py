@@ -101,6 +101,28 @@ class EventLog:
             self._ring.append(event)
         return event
 
+    def absorb(self, events: Iterable[dict], dropped: int = 0) -> None:
+        """Merge events drained from another process's log into this one.
+
+        Shard workers ship their retained events (plus their own drop
+        count) with every batch reply and on the final flush, so nothing
+        a worker narrated is lost when its process exits.  Worker
+        timestamps (``ts`` / ``mono_s``) are preserved — both clocks are
+        comparable across processes — but ``seq`` is re-stamped from this
+        log's counter so ordering stays consistent ring-wide.
+        """
+        events = list(events)
+        with self._lock:
+            for event in events:
+                event = dict(event)
+                event["seq"] = self._seq
+                self._seq += 1
+                if len(self._ring) == self.capacity:
+                    self._dropped += 1
+                self._ring.append(event)
+            self._dropped += int(dropped)
+            self._seq += int(dropped)
+
     # ------------------------------------------------------------- reading
     def tail(self, n: int | None = None) -> list[dict]:
         """The most recent ``n`` events, oldest first (all when None)."""

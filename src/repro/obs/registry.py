@@ -360,6 +360,90 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
 
+    # ------------------------------------------------- cross-process merge
+    def dump_state(self) -> dict:
+        """Snapshot every metric as a JSON-safe dict for :meth:`merge_state`.
+
+        This is the metrics half of the process-engine telemetry channel:
+        a shard worker dumps, resets, and ships the delta with each batch
+        reply; the parent merges.  Counters add, gauges last-write-win,
+        histograms merge bucket-wise; exemplars ride along so request-id
+        joins survive the process hop.
+        """
+        state: dict = {}
+        for metric in self.metrics():
+            record: dict = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "label_names": list(metric.label_names),
+                "max_series": metric.max_series,
+                "series": [],
+            }
+            if isinstance(metric, Histogram):
+                record["buckets"] = list(metric.bounds)
+            with metric._lock:
+                for key in sorted(metric._series):
+                    series = metric._series[key]
+                    row: dict = {"labels": list(key)}
+                    if isinstance(series, HistogramSeries):
+                        row["bucket_counts"] = list(series.bucket_counts)
+                        row["sum"] = series.sum
+                        row["count"] = series.count
+                        row["exemplar"] = series.exemplar
+                    else:
+                        row["value"] = series.value
+                        row["exemplar"] = series.exemplar
+                    record["series"].append(row)
+            state[metric.name] = record
+        return state
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`dump_state` snapshot from another process in."""
+        for name, record in state.items():
+            kind = record["kind"]
+            label_names = tuple(record["label_names"])
+            if kind == "counter":
+                metric = self.counter(
+                    name, record["help"], label_names=label_names,
+                    max_series=record["max_series"],
+                )
+            elif kind == "gauge":
+                metric = self.gauge(
+                    name, record["help"], label_names=label_names,
+                    max_series=record["max_series"],
+                )
+            elif kind == "histogram":
+                metric = self.histogram(
+                    name, record["help"], label_names=label_names,
+                    buckets=tuple(record["buckets"]),
+                    max_series=record["max_series"],
+                )
+            else:  # pragma: no cover - forward-compat guard
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+            for row in record["series"]:
+                key = tuple(row["labels"])
+                exemplar = row.get("exemplar")
+                with metric._lock:
+                    if kind == "histogram":
+                        series = metric._series_slot(
+                            key,
+                            lambda m=metric: HistogramSeries(len(m.bounds) + 1),
+                        )
+                        for i, c in enumerate(row["bucket_counts"]):
+                            series.bucket_counts[i] += int(c)
+                        series.sum += float(row["sum"])
+                        series.count += int(row["count"])
+                        if exemplar is not None:
+                            series.exemplar = dict(exemplar)
+                    else:
+                        cell = metric._series_slot(key, _Cell)
+                        if kind == "counter":
+                            cell.value += float(row["value"])
+                        else:  # gauge: instantaneous, last write wins
+                            cell.value = float(row["value"])
+                        if exemplar is not None:
+                            cell.exemplar = dict(exemplar)
+
     def __contains__(self, name: str) -> bool:
         with self._lock:
             return name in self._metrics

@@ -168,6 +168,27 @@ class SLOTracker:
         with self._lock:
             return dict(self._degraded)
 
+    # ------------------------------------------------- cross-process merge
+    def drain_degraded(self) -> dict[str, int]:
+        """Return and clear the served-degraded tallies.
+
+        Shard workers record rung tallies locally (degradation happens
+        inside ``forecast`` op execution) and drain them into each batch
+        reply; the parent :meth:`absorb_degraded`\\ s them.  Latency
+        windows are untouched — request-end samples are recorded on the
+        parent side only, so they never need to cross the boundary.
+        """
+        with self._lock:
+            drained = dict(self._degraded)
+            self._degraded.clear()
+        return drained
+
+    def absorb_degraded(self, tallies: Mapping[str, int]) -> None:
+        """Fold another process's drained rung tallies into this tracker."""
+        with self._lock:
+            for rung, count in tallies.items():
+                self._degraded[str(rung)] += int(count)
+
     def classes(self) -> list[str]:
         """Request classes with at least one recorded sample, sorted."""
         with self._lock:

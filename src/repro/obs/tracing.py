@@ -128,6 +128,34 @@ class Span:
             "children": [child.as_dict() for child in self.children],
         }
 
+    @classmethod
+    def from_dict(cls, record: dict) -> "Span":
+        """Rebuild a completed span tree from :meth:`as_dict` output.
+
+        This is how lane subtrees cross the process boundary: a shard
+        worker serialises its detached ``lane`` span, the parent rebuilds
+        it here and :meth:`adopt`\\ s it under the request root.  The
+        result is a *completed* span — detached, tracer-less, usable for
+        :meth:`find` / :meth:`as_dict` / Chrome export but not re-enterable.
+        ``start_s`` stays comparable across processes because both sides
+        read the same monotonic ``perf_counter`` clock.
+        """
+        span = cls.__new__(cls)
+        span.name = str(record["name"])
+        span.attrs = dict(record.get("attrs", {}))
+        span.children = [
+            cls.from_dict(child) for child in record.get("children", [])
+        ]
+        span.wall_s = float(record.get("wall_s", 0.0))
+        span.gpu_sim_s = float(record.get("gpu_sim_s", 0.0))
+        span.start_s = float(record.get("start_s", 0.0))
+        span._tracer = None
+        span._device = None
+        span._t0 = 0.0
+        span._gpu0 = 0.0
+        span._detached = True
+        return span
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"Span({self.name!r}, wall={self.wall_s:.6f}s, "

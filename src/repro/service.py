@@ -24,17 +24,22 @@ sensor's memory first and routes through the pool's one greedy
 placement policy, so an index is only ever built once, on the backend
 that will host it.
 
-Serving is sequential by default.  Opt into intra-process concurrency
-with :class:`ServiceConfig` (``max_workers=``, the ``REPRO_MAX_WORKERS``
-environment variable, or the CLI's ``--workers``): ``forecast_all`` and
-``ingest_many`` then fan out over a thread pool with **one worker lane
-per backend shard**.  Each lane walks its own backend's sensors in the
-same order the sequential path would, so per-backend kernel streams,
-simulated-time ledgers and fault-injection tick sequences are identical
-— concurrent results are bit-identical to sequential ones (same
-:class:`Forecast` floats, same :attr:`ForecastBatch.errors`), pinned by
-``tests/test_concurrency.py``.  The threading model (what is locked,
-what is lock-free) is documented in ``docs/architecture.md``.
+*How* lanes execute is delegated to a pluggable
+:class:`~repro.exec.ExecutionEngine` (``ServiceConfig(engine=...)``, the
+``REPRO_EXEC`` environment variable, or the CLI's ``--engine``): the
+service decides the per-backend operation order, the engine decides
+where it runs — inline on the calling thread (the default), on a thread
+pool with **one worker lane per backend shard**
+(``max_workers`` / ``REPRO_MAX_WORKERS`` / ``--workers``), or on one
+long-lived worker *process* per shard.  Each lane walks its own
+backend's sensors in the same order the sequential path would, so
+per-backend kernel streams, simulated-time ledgers and fault-injection
+tick sequences are identical — results are bit-identical to sequential
+ones across every engine (same :class:`Forecast` floats, same
+:attr:`ForecastBatch.errors`), pinned by ``tests/test_concurrency.py``
+and ``tests/test_exec_parity.py``.  The execution model (what is
+locked, what is lock-free, what crosses process boundaries) is
+documented in ``docs/architecture.md``.
 """
 
 from __future__ import annotations
@@ -45,8 +50,6 @@ import pathlib
 import re
 import threading
 import time
-import warnings
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
@@ -58,7 +61,15 @@ from .backend.pool import BackendPool, BreakerConfig, Placement
 from .baselines.autoregressive import fit_ar
 from .core.config import SMiLerConfig
 from .core.persistence import build_smiler, load_snapshot, save_smiler
+from .core.scaleout import plan_lanes
 from .core.smiler import SMiLer
+from .exec.base import (
+    ENGINE_NAMES,
+    ExecutionEngine,
+    LaneTask,
+    make_engine,
+    resolve_engine_name,
+)
 from .obs import context as reqctx
 from .obs import hooks as obs
 from .obs.exposition import to_json
@@ -115,14 +126,33 @@ class ServiceConfig:
     the exact sequential code path.  ``None`` defers to the
     ``REPRO_MAX_WORKERS`` environment variable, read once at service
     construction.
+
+    ``engine`` picks the :class:`~repro.exec.ExecutionEngine` by name
+    (``"inline"``, ``"thread"`` or ``"process"``).  ``None`` defers to
+    the ``REPRO_EXEC`` environment variable and then to the historical
+    default: threads when the resolved worker count exceeds 1, else
+    inline.  ``engine_timeout_s`` bounds how long the process engine
+    waits on an unresponsive shard worker before declaring it hung and
+    evacuating its sensors (local engines never time out).
     """
 
     max_workers: int | None = None
+    engine: str | None = None
+    engine_timeout_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.max_workers is not None and self.max_workers <= 0:
             raise ValueError(
                 f"max_workers must be positive, got {self.max_workers}"
+            )
+        if self.engine is not None and self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown execution engine {self.engine!r}; available: "
+                f"{ENGINE_NAMES}"
+            )
+        if self.engine_timeout_s <= 0.0:
+            raise ValueError(
+                f"engine_timeout_s must be positive, got {self.engine_timeout_s}"
             )
 
     def resolved_workers(self) -> int:
@@ -144,6 +174,12 @@ class ServiceConfig:
                 f"{WORKERS_ENV_VAR} must be positive, got {workers}"
             )
         return workers
+
+    def resolved_engine(self, resolved_workers: int) -> str:
+        """The effective engine name: explicit value, else the
+        ``REPRO_EXEC`` environment variable, else the worker-count
+        default."""
+        return resolve_engine_name(self.engine, resolved_workers)
 
 
 @dataclass(frozen=True)
@@ -278,8 +314,12 @@ class PredictionService:
         # Serializes fleet-membership mutations (register / deregister /
         # restore / evacuate) against each other; per-sensor serving work
         # needs no service-level lock because each backend shard is
-        # walked by exactly one lane.
+        # walked by exactly one lane.  Lock order: an engine's operation
+        # lock (``mutating()``) is always taken *before* this one.
         self._admission_lock = threading.RLock()
+        self._engine: ExecutionEngine = make_engine(
+            self.service_config.resolved_engine(self.max_workers), self
+        )
 
     # ------------------------------------------------------------- backends
     @property
@@ -288,18 +328,13 @@ class PredictionService:
         return self._pool.backends
 
     @property
-    def device(self) -> ComputeBackend:
-        """Deprecated alias: the first backend (pre-pool name)."""
-        warnings.warn(
-            "PredictionService.device is deprecated; use "
-            "PredictionService.backends[0]",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._pool.backends[0]
+    def engine(self) -> ExecutionEngine:
+        """The execution engine serving this service's lanes."""
+        return self._engine
 
     def placement_of(self, sensor_id: str) -> int:
         """Index of the backend hosting a sensor."""
+        self._engine.refresh()
         self._require(sensor_id)
         return self._placements[sensor_id].backend_index
 
@@ -365,8 +400,9 @@ class PredictionService:
                 f"backend index {backend_index} out of range for a pool of "
                 f"{len(self._pool)}"
             )
-        with self._admission_lock:
-            return self._evacuate_locked(backend_index)
+        with self._engine.mutating():
+            with self._admission_lock:
+                return self._evacuate_locked(backend_index)
 
     def _evacuate_locked(self, backend_index: int) -> list[str]:
         self._pool.mark_unhealthy(backend_index)
@@ -411,8 +447,9 @@ class PredictionService:
     def register(self, sensor_id: str, history: np.ndarray) -> None:
         """Admit a sensor with its raw history."""
         _validate_sensor_id(sensor_id)
-        with self._admission_lock:
-            self._register_locked(sensor_id, history)
+        with self._engine.mutating():
+            with self._admission_lock:
+                self._register_locked(sensor_id, history)
 
     def _register_locked(self, sensor_id: str, history: np.ndarray) -> None:
         if sensor_id in self._sensors:
@@ -452,11 +489,12 @@ class PredictionService:
 
     def deregister(self, sensor_id: str) -> None:
         """Remove a sensor from the service and free its device memory."""
-        with self._admission_lock:
-            self._require(sensor_id)
-            del self._sensors[sensor_id]
-            del self._norms[sensor_id]
-            self._pool.release(self._placements.pop(sensor_id))
+        with self._engine.mutating():
+            with self._admission_lock:
+                self._require(sensor_id)
+                del self._sensors[sensor_id]
+                del self._norms[sensor_id]
+                self._pool.release(self._placements.pop(sensor_id))
         logger.debug("deregistered sensor %s", sensor_id)
 
     @property
@@ -465,7 +503,13 @@ class PredictionService:
         return sorted(self._sensors)
 
     def sensor(self, sensor_id: str) -> SMiLer:
-        """The SMiLer instance serving one sensor."""
+        """The SMiLer instance serving one sensor.
+
+        Engines that move state off-process sync it back first
+        (:meth:`repro.exec.ExecutionEngine.refresh`), so the returned
+        object always reflects every reading served so far.
+        """
+        self._engine.refresh()
         return self._require(sensor_id)
 
     def _require(self, sensor_id: str) -> SMiLer:
@@ -507,6 +551,11 @@ class PredictionService:
 
     def ingest(self, sensor_id: str, value: float) -> None:
         """Feed one new raw reading (auto-tunes and advances the index)."""
+        self._engine.ingest_single(sensor_id, value)
+
+    def _ingest_local(self, sensor_id: str, value: float) -> None:
+        """The in-process ingest body (engines dispatch here or to a
+        shard worker running exactly this code)."""
         with reqctx.begin_request("ingest") as scope:
             t0 = time.perf_counter()
             if scope.minted:
@@ -534,8 +583,8 @@ class PredictionService:
 
         The whole batch is validated before any sensor advances, so a bad
         reading leaves every stream untouched (no half-applied ticks).
-        With ``max_workers > 1`` the validated batch fans out one lane
-        per backend shard; each lane applies its backend's readings in
+        The validated batch fans out one lane per backend shard on the
+        configured engine; each lane applies its backend's readings in
         batch order, so every backend sees the same operation sequence
         as the sequential path and the end state is identical.
         """
@@ -557,15 +606,10 @@ class PredictionService:
                             "before ingest"
                         )
                     checked[sensor_id] = value
-
-                def lane_body(sensor_ids: list[str]) -> None:
-                    for sensor_id in sensor_ids:
-                        self._observe_resilient(sensor_id, checked[sensor_id])
-
-                self._run_lanes(
-                    "ingest_many", self._shard_by_backend(checked), scope,
-                    lane_body,
+                tasks = self._plan_tasks(
+                    checked, lambda sid: ("ingest", sid, checked[sid])
                 )
+                self._engine.run_batch("ingest_many", scope, tasks)
                 ok = True
             finally:
                 if scope.minted:
@@ -575,109 +619,28 @@ class PredictionService:
                         n_items=len(readings),
                     )
 
-    def _shard_by_backend(
-        self, sensor_ids: Iterable[str]
-    ) -> list[tuple[int, list[str]]]:
-        """Partition sensors into one ``(backend_index, ids)`` lane per
-        hosting backend, keeping the given order within each lane (a
-        snapshot: mid-batch failover may re-place a sensor, but its lane
+    def _plan_tasks(
+        self,
+        sensor_ids: Iterable[str],
+        op_of: Callable[[str], tuple],
+    ) -> list[LaneTask]:
+        """Partition sensors into one :class:`LaneTask` per hosting
+        backend, keeping the given order within each lane (a snapshot:
+        mid-batch failover may re-place a sensor, but its lane
         assignment is decided here, exactly as the sequential path
         decides its grouping up front)."""
         with self._admission_lock:
-            by_backend: dict[int, list[str]] = {}
-            for sensor_id in sensor_ids:
-                index = self._placements[sensor_id].backend_index
-                by_backend.setdefault(index, []).append(sensor_id)
-        return [(index, by_backend[index]) for index in sorted(by_backend)]
-
-    def _run_lanes(
-        self,
-        name: str,
-        lanes: list[tuple[int, list[str]]],
-        scope: reqctx.RequestScope,
-        lane_body: Callable[[list[str]], object],
-    ) -> list[object]:
-        """Run ``lane_body`` over every backend shard under one root span.
-
-        The telemetry contract: one request yields one *connected* trace
-        tree.  Sequentially, each ``lane`` span nests under the root via
-        the tracer's thread-local stack.  Concurrently, executor threads
-        inherit neither the request context nor the span stack — each
-        lane re-binds the parent's :class:`~repro.obs.context.RequestContext`
-        and opens a *detached* span rooted on its own thread; the root
-        adopts the completed lane spans after the join, in lane order,
-        so tree assembly is race-free and deterministic.  Per-lane
-        queue-wait (submit → lane start) and execute time land on the
-        span and in the ``smiler_lane_*`` metrics.
-
-        Lane work order is identical on both paths, preserving the
-        bit-identical concurrency contract.  Returns lane results in
-        lane order and points ``_last_trace`` at the root span.
-        """
-        submit_s = time.perf_counter()
-        concurrent = len(lanes) > 1 and self.max_workers > 1
-
-        def run_lane(lane_index: int, backend_index: int, sensor_ids: list[str]):
-            queue_wait_s = time.perf_counter() - submit_s
-            backend = self._pool.backends[backend_index]
-            with reqctx.adopt(scope.context):
-                span_cm = (
-                    obs.detached_span("lane")
-                    if concurrent
-                    else obs.span("lane")
-                )
-                with span_cm as lane_sp:
-                    if lane_sp is not None:
-                        lane_sp.attrs["lane"] = lane_index
-                        lane_sp.attrs["backend"] = backend_index
-                        lane_sp.attrs["backend_id"] = getattr(
-                            backend, "backend_id", f"backend-{backend_index}"
-                        )
-                        lane_sp.attrs["queue_wait_s"] = queue_wait_s
-                        lane_sp.attrs["n_sensors"] = len(sensor_ids)
-                        lane_sp.attrs["request_id"] = scope.request_id
-                    t_exec = time.perf_counter()
-                    result = lane_body(sensor_ids)
-                obs.observe_lane(
-                    lane_index, backend_index, queue_wait_s,
-                    time.perf_counter() - t_exec, len(sensor_ids),
-                )
-            return result, lane_sp
-
-        with obs.span(name) as root:
-            if root is not None:
-                root.attrs["request_id"] = scope.request_id
-                root.attrs["n_lanes"] = len(lanes)
-                root.attrs["workers"] = (
-                    min(self.max_workers, len(lanes)) if concurrent else 1
-                )
-            if not concurrent:
-                outputs = [
-                    run_lane(i, backend_index, ids)
-                    for i, (backend_index, ids) in enumerate(lanes)
-                ]
-            else:
-                with ThreadPoolExecutor(
-                    max_workers=min(self.max_workers, len(lanes)),
-                    thread_name_prefix=f"smiler-{name}",
-                ) as executor:
-                    # list() drains the iterator so lane exceptions
-                    # propagate.
-                    outputs = list(
-                        executor.map(
-                            run_lane,
-                            range(len(lanes)),
-                            [index for index, _ in lanes],
-                            [ids for _, ids in lanes],
-                        )
-                    )
-                if root is not None:
-                    for _, lane_sp in outputs:
-                        if lane_sp is not None:
-                            root.adopt(lane_sp)
-        if root is not None:
-            self._last_trace = root
-        return [result for result, _ in outputs]
+            placements = {
+                sid: placement.backend_index
+                for sid, placement in self._placements.items()
+            }
+        return [
+            LaneTask(
+                plan=plan,
+                ops=tuple(op_of(sid) for sid in plan.sensor_ids),
+            )
+            for plan in plan_lanes(placements, sensor_ids)
+        ]
 
     def _resolve_horizon(self, horizon: int | None) -> int:
         if horizon is None:
@@ -806,6 +769,13 @@ class PredictionService:
             raise ValueError(f"level must be in (0, 1), got {level}")
         self._require(sensor_id)
         horizon = self._resolve_horizon(horizon)
+        return self._engine.forecast_single(sensor_id, horizon, level)
+
+    def _forecast_local(
+        self, sensor_id: str, horizon: int, level: float
+    ) -> Forecast:
+        """The in-process forecast body for a validated request (engines
+        dispatch here or to a shard worker running exactly this code)."""
         with reqctx.begin_request("forecast") as scope:
             t0 = time.perf_counter()
             if scope.minted:
@@ -874,20 +844,22 @@ class PredictionService:
         forecasts are returned and the failure lands in
         :attr:`ForecastBatch.errors`.
 
-        With ``max_workers > 1`` the per-backend groups run on
-        concurrent lanes.  Each lane preserves the sequential path's
+        The per-backend groups run as one lane per shard on the
+        configured engine.  Each lane preserves the sequential path's
         per-backend sensor order, so kernel dispatch, simulated-time
         attribution and fault-injection ticks are identical per backend
-        and the batch — forecasts *and* errors — is bit-identical to a
-        ``max_workers=1`` run.
+        and the batch — forecasts *and* errors — is bit-identical to an
+        inline run on every engine.
         """
         if not 0.0 < level < 1.0:
             raise ValueError(f"level must be in (0, 1), got {level}")
         self._resolve_horizon(horizon)  # reject bad horizons up front
         with reqctx.begin_request("forecast_all") as scope:
             t0 = time.perf_counter()
-            lanes = self._shard_by_backend(self.sensor_ids)
-            n_items = sum(len(ids) for _, ids in lanes)
+            tasks = self._plan_tasks(
+                self.sensor_ids, lambda sid: ("forecast", sid, horizon, level)
+            )
+            n_items = sum(len(task.plan.sensor_ids) for task in tasks)
             if scope.minted:
                 obs.observe_request_start(
                     "forecast_all", scope.request_id, n_items=n_items
@@ -895,33 +867,23 @@ class PredictionService:
             ok = False
             n_errors = 0
             try:
-
-                def lane_body(
-                    sensor_ids: list[str],
-                ) -> tuple[dict[str, Forecast], dict[str, Exception]]:
-                    results: dict[str, Forecast] = {}
-                    errors: dict[str, Exception] = {}
-                    for sensor_id in sensor_ids:
-                        try:
-                            results[sensor_id] = self.forecast(
-                                sensor_id, horizon, level
-                            )
-                        except Exception as error:
+                lane_outcomes = self._engine.run_batch(
+                    "forecast_all", scope, tasks
+                )
+                results: dict[str, Forecast] = {}
+                errors: dict[str, Exception] = {}
+                for task, outcomes in zip(tasks, lane_outcomes):
+                    for sensor_id, (status, payload) in zip(
+                        task.plan.sensor_ids, outcomes
+                    ):
+                        if status == "ok":
+                            results[sensor_id] = payload
+                        else:
                             logger.warning(
                                 "forecast_all: sensor %s failed: %s",
-                                sensor_id, error,
+                                sensor_id, payload,
                             )
-                            errors[sensor_id] = error
-                    return results, errors
-
-                lane_outputs = self._run_lanes(
-                    "forecast_all", lanes, scope, lane_body
-                )
-                results = {}
-                errors = {}
-                for lane_results, lane_errors in lane_outputs:
-                    results.update(lane_results)
-                    errors.update(lane_errors)
+                            errors[sensor_id] = payload
                 batch = ForecastBatch(sorted(results.items()))
                 batch.errors = dict(sorted(errors.items()))
                 n_errors = len(batch.errors)
@@ -938,6 +900,10 @@ class PredictionService:
     # ------------------------------------------------------------ snapshots
     def snapshot(self, directory) -> list[pathlib.Path]:
         """Persist every sensor's state; returns the written paths."""
+        with self._engine.mutating():
+            return self._snapshot_synced(directory)
+
+    def _snapshot_synced(self, directory) -> list[pathlib.Path]:
         directory = pathlib.Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         paths = []
@@ -973,8 +939,9 @@ class PredictionService:
                 obs.observe_request_start("restore", scope.request_id)
             ok = False
             try:
-                with self._admission_lock:
-                    self._restore_locked(directory)
+                with self._engine.mutating():
+                    with self._admission_lock:
+                        self._restore_locked(directory)
                 ok = True
             finally:
                 if scope.minted:
@@ -1052,8 +1019,9 @@ class PredictionService:
         For a ``forecast()`` this is the single forecast span; for
         ``forecast_all()`` / ``ingest_many()`` it is the batch root span
         owning exactly one ``lane`` child per backend shard (connected
-        across worker threads — see :meth:`_run_lanes`).  ``None`` until
-        a request runs with observability enabled.
+        across worker threads and worker processes — the engine adopts
+        each completed lane subtree under the root).  ``None`` until a
+        request runs with observability enabled.
         """
         return self._last_trace
 
@@ -1064,14 +1032,18 @@ class PredictionService:
         Health records are snapshotted atomically (``health_dict``) and
         fleet membership is read under the admission lock, so a status
         taken while lanes are serving never shows a torn breaker record
-        or a half-registered sensor.
+        or a half-registered sensor.  Engines that move state
+        off-process sync it back first, so counters and ledgers reflect
+        every batch served so far.
         """
+        self._engine.refresh()
         with self._admission_lock:
             counts = self.sensors_per_backend()
             sensors = dict(self._sensors)
         event_log = obs.get_event_log()
         return {
             "n_sensors": len(sensors),
+            "engine": self._engine.name,
             "device_memory_bytes": self._pool.allocated_bytes,
             "device_sim_seconds": self._pool.elapsed_s,
             "max_workers": self.max_workers,
@@ -1096,3 +1068,23 @@ class PredictionService:
                 for sensor_id, smiler in sensors.items()
             },
         }
+
+    # ------------------------------------------------------------ lifecycle
+    def reset_time(self) -> None:
+        """Zero every backend's simulated-time ledger, wherever the
+        authoritative backend objects currently live (benchmark warmup
+        boundaries)."""
+        self._engine.reset_time()
+
+    def close(self) -> None:
+        """Release engine resources (worker processes, shared memory),
+        syncing any off-process state back first.  The service stays
+        usable — a later batch restarts what it needs."""
+        self._engine.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -3,15 +3,17 @@
 import numpy as np
 import pytest
 
+from repro.backend import SimulatedGpuBackend
 from repro.core import (
-    MultiGpuFleet,
     SMiLer,
     SMiLerConfig,
     load_smiler,
+    plan_lanes,
     save_smiler,
     truncate_history,
 )
 from repro.gpu import DeviceSpec, GpuMemoryError
+from repro.service import PredictionService
 
 
 def periodic_history(n=700, seed=0):
@@ -51,54 +53,80 @@ class TestTruncateHistory:
         assert short.memory_bytes() < full.memory_bytes()
 
 
-class TestMultiGpuFleet:
-    def test_shards_across_devices(self):
-        histories = [periodic_history(seed=s) for s in range(4)]
-        fleet = MultiGpuFleet(histories, SMALL, n_devices=2)
-        counts = fleet.sensors_per_device()
+def sharded_service(n_backends, spec=None):
+    backends = [SimulatedGpuBackend(spec=spec) for _ in range(n_backends)]
+    return PredictionService(SMALL, backends=backends, min_history=256)
+
+
+class TestMultiBackendSharding:
+    """Section 6.4.1 option 1 — sensors shard across a backend pool
+    (served by ``PredictionService``; the ``MultiGpuFleet`` facade is
+    gone)."""
+
+    def test_shards_across_backends(self):
+        service = sharded_service(2)
+        for seed in range(4):
+            service.register(f"s{seed}", periodic_history(seed=seed))
+        counts = service.sensors_per_backend()
         assert sum(counts) == 4
         assert all(c >= 1 for c in counts)  # greedy balancing spreads them
 
     def test_predict_observe_roundtrip(self):
-        histories = [periodic_history(seed=s) for s in range(3)]
-        fleet = MultiGpuFleet(histories, SMALL, n_devices=2)
-        outs = fleet.predict_all()
-        assert len(outs) == 3
-        fleet.observe_all([0.1, 0.2, 0.3])
-        assert fleet.total_elapsed_s() > 0
+        service = sharded_service(2)
+        for seed in range(3):
+            service.register(f"s{seed}", periodic_history(seed=seed))
+        batch = service.forecast_all()
+        assert len(batch) == 3 and not batch.errors
+        service.ingest_many({"s0": 0.1, "s1": 0.2, "s2": 0.3})
+        assert service.status()["device_sim_seconds"] > 0
 
     def test_pool_exhaustion_raises(self):
         tiny = DeviceSpec(memory_bytes=60_000)
-        histories = [periodic_history(seed=s) for s in range(20)]
+        service = sharded_service(2, spec=tiny)
         with pytest.raises(GpuMemoryError):
-            MultiGpuFleet(histories, SMALL, n_devices=2, spec=tiny)
+            for seed in range(20):
+                service.register(f"s{seed}", periodic_history(seed=seed))
 
-    def test_two_devices_host_more_than_one(self):
-        """The point of the pool: capacity scales with device count."""
+    def test_two_backends_host_more_than_one(self):
+        """The point of the pool: capacity scales with backend count."""
         spec = DeviceSpec(memory_bytes=100_000)
-        histories = [periodic_history(seed=s) for s in range(6)]
 
-        def max_hosted(n_devices):
-            for count in range(len(histories), 0, -1):
+        def max_hosted(n_backends):
+            service = sharded_service(n_backends, spec=spec)
+            hosted = 0
+            for seed in range(6):
                 try:
-                    MultiGpuFleet(
-                        histories[:count], SMALL, n_devices=n_devices, spec=spec
-                    )
-                    return count
+                    service.register(f"s{seed}", periodic_history(seed=seed))
                 except GpuMemoryError:
-                    continue
-            return 0
+                    break
+                hosted += 1
+            return hosted
 
         assert max_hosted(2) > max_hosted(1)
 
-    def test_validation(self):
-        with pytest.raises(ValueError):
-            MultiGpuFleet([], SMALL)
-        with pytest.raises(ValueError):
-            MultiGpuFleet([periodic_history()], SMALL, n_devices=0)
-        fleet = MultiGpuFleet([periodic_history()], SMALL)
-        with pytest.raises(ValueError):
-            fleet.observe_all([1.0, 2.0])
+
+class TestPlanLanes:
+    def test_groups_by_backend_sorted(self):
+        placements = {"a": 2, "b": 0, "c": 2, "d": 0}
+        plans = plan_lanes(placements, ["a", "b", "c", "d"])
+        assert [p.backend_index for p in plans] == [0, 2]
+        assert [p.lane_index for p in plans] == [0, 1]
+        assert plans[0].sensor_ids == ("b", "d")
+        assert plans[1].sensor_ids == ("a", "c")
+
+    def test_preserves_given_order_within_lane(self):
+        placements = {"a": 0, "b": 0, "c": 0}
+        plans = plan_lanes(placements, ["c", "a", "b"])
+        assert plans[0].sensor_ids == ("c", "a", "b")
+
+    def test_only_hosting_backends_get_lanes(self):
+        plans = plan_lanes({"x": 3}, ["x"])
+        assert len(plans) == 1
+        assert plans[0].backend_index == 3
+        assert plans[0].lane_index == 0
+
+    def test_empty_batch_plans_nothing(self):
+        assert plan_lanes({}, []) == []
 
 
 class TestPersistence:

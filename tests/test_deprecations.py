@@ -1,7 +1,8 @@
-"""The PR-2 ``.device`` aliases now warn: every public alias emits a
-``DeprecationWarning`` pointing at its ``.backend`` replacement, while
-the real attributes (``SimulatedGpuBackend.device``,
-``ParallelFleet.devices``) stay silent."""
+"""The PR-2 ``.device`` aliases are gone: the deprecation cycle ended
+(warn → removed), so every former alias now raises ``AttributeError``
+and the ``MultiGpuFleet`` shim is no longer importable.  The real
+attributes that merely *looked* like aliases
+(``SimulatedGpuBackend.device``) survive unchanged."""
 
 import warnings
 
@@ -22,42 +23,44 @@ def history(n: int = 300) -> np.ndarray:
     return 50.0 + 10.0 * np.sin(np.arange(n) / 9.0)
 
 
-class TestDeviceAliasWarns:
+class TestDeviceAliasesRemoved:
     def test_prediction_service(self):
         service = PredictionService(
             config=CONFIG, backends=NativeBackend(), min_history=256
         )
-        with pytest.warns(DeprecationWarning, match="PredictionService.device"):
-            alias = service.device
-        assert alias is service.backends[0]
+        assert not hasattr(service, "device")
+        assert service.backends  # the replacement surface
 
     def test_smiler(self):
         smiler = SMiLer(history(), CONFIG, backend=NativeBackend())
-        with pytest.warns(DeprecationWarning, match="SMiLer.device"):
-            alias = smiler.device
-        assert alias is smiler.backend
+        assert not hasattr(smiler, "device")
+        assert smiler.backend is not None
 
     def test_sensor_fleet(self):
         fleet = SensorFleet([history()], CONFIG, backend=NativeBackend())
-        with pytest.warns(DeprecationWarning, match="SensorFleet.device"):
-            alias = fleet.device
-        assert alias is fleet.backend
+        assert not hasattr(fleet, "device")
+        assert fleet.backend is not None
 
     def test_index_layers(self):
         smiler = SMiLer(history(), CONFIG, backend=NativeBackend())
         engine = smiler.engine
-        with pytest.warns(DeprecationWarning, match="SuffixKnnEngine.device"):
-            assert engine.device is engine.backend
-        with pytest.warns(
-            DeprecationWarning, match="WindowLevelIndex.device"
-        ):
-            assert engine.window_index.device is engine.window_index.backend
+        assert not hasattr(engine, "device")
+        assert not hasattr(engine.window_index, "device")
+        assert engine.backend is engine.window_index.backend
 
     def test_search_scale(self):
         scale = SearchScale(n_sensors=1, n_points=500, continuous_steps=1)
-        with pytest.warns(DeprecationWarning, match="SearchScale.device"):
-            backend = scale.device()
-        assert isinstance(backend, SimulatedGpuBackend)
+        assert not hasattr(scale, "device")
+        assert isinstance(scale.backend(), SimulatedGpuBackend)
+
+    def test_multi_gpu_fleet_shim_removed(self):
+        import repro.core
+        import repro.core.scaleout
+
+        assert not hasattr(repro.core, "MultiGpuFleet")
+        assert not hasattr(repro.core.scaleout, "MultiGpuFleet")
+        with pytest.raises(ImportError):
+            from repro.core import MultiGpuFleet  # noqa: F401
 
     def test_simulated_backend_device_is_not_deprecated(self):
         backend = SimulatedGpuBackend()

@@ -1,0 +1,365 @@
+"""Differential tests: every execution engine serves identical bits.
+
+The engine contract (``docs/architecture.md``, "Execution engines") is
+that ``inline``, ``thread`` and ``process`` are *indistinguishable*
+through the public API on a healthy pool: the same
+:class:`~repro.service.Forecast` floats, the same
+:attr:`~repro.service.ForecastBatch.errors` (type and message), the same
+per-backend simulated-time ledgers.  These tests pin that contract
+differentially — identically-constructed services, one per engine,
+driven through the same 52-sensor / 4-backend workload — then exercise
+the process engine's crash semantics (a SIGKILLed shard worker must
+evacuate, never hang) and its flush-on-close telemetry drain.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.backend import BACKEND_NAMES, make_backend
+from repro.core import SMiLerConfig
+from repro.exec import ENGINE_ENV_VAR, ENGINE_NAMES
+from repro.faults import FaultProfile
+from repro.service import (
+    PredictionService,
+    ResiliencePolicy,
+    ServiceConfig,
+)
+
+CONFIG = SMiLerConfig(
+    elv=(8, 16), ekv=(4, 8), rho=2, omega=4, horizons=(1, 3),
+    predictor="ar",
+)
+
+N_SENSORS = 52
+N_BACKENDS = 4
+HISTORY_POINTS = 280
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def make_workload(n_sensors=N_SENSORS, n_points=HISTORY_POINTS, n_future=8):
+    """Seeded histories + future readings, shared across engines."""
+    rng = np.random.default_rng(1234)
+    histories, futures = {}, {}
+    for i in range(n_sensors):
+        sensor_id = f"s{i:03d}"
+        phase = rng.uniform(0.0, 2.0 * np.pi)
+        t = np.arange(n_points + n_future)
+        wave = 100.0 + 25.0 * np.sin(t / 7.0 + phase)
+        wave += 0.05 * rng.normal(size=t.size)
+        histories[sensor_id] = wave[:n_points]
+        futures[sensor_id] = wave[n_points:]
+    return histories, futures
+
+
+def build_service(
+    backend_name,
+    engine,
+    n_backends=N_BACKENDS,
+    fault_profiles=None,
+    resilience=None,
+    **config_kwargs,
+):
+    backends = [
+        make_backend(
+            backend_name,
+            fault_profile=None if fault_profiles is None else fault_profiles[i],
+        )
+        for i in range(n_backends)
+    ]
+    return PredictionService(
+        CONFIG,
+        backends=backends,
+        min_history=100,
+        resilience=resilience,
+        service_config=ServiceConfig(
+            engine=engine, max_workers=4, **config_kwargs
+        ),
+    )
+
+
+def drive(service, histories, futures, rounds=2, singles=4):
+    """Register the fleet, alternate batch ops, sprinkle single ops.
+
+    Returns ``(batches, single_forecasts)`` and *closes the service*, so
+    the process engine's workers are flushed and state authority is back
+    in the parent before the caller inspects ledgers.
+    """
+    try:
+        for sensor_id, history in histories.items():
+            service.register(sensor_id, history)
+        batches, single_forecasts = [], {}
+        single_ids = sorted(histories)[:singles]
+        for step in range(rounds):
+            batches.append(service.forecast_all())
+            for sensor_id in single_ids:  # singles ride the same engine
+                try:
+                    single_forecasts[(step, sensor_id)] = service.forecast(
+                        sensor_id
+                    )
+                except Exception as error:  # parity includes failures
+                    single_forecasts[(step, sensor_id)] = (
+                        type(error).__name__, str(error)
+                    )
+            service.ingest_many(
+                {sid: float(futures[sid][step]) for sid in histories}
+            )
+        batches.append(service.forecast_all())
+        placements = {sid: service.placement_of(sid) for sid in histories}
+    finally:
+        service.close()
+    elapsed = [backend.elapsed_s for backend in service.backends]
+    return batches, single_forecasts, placements, elapsed
+
+
+def assert_batches_identical(reference, other):
+    """Bit-identical forecasts and matching error side-channels."""
+    assert len(reference) == len(other)
+    for batch_ref, batch_other in zip(reference, other):
+        # Forecast is a frozen dataclass: == compares every float exactly.
+        assert dict(batch_ref) == dict(batch_other)
+        assert set(batch_ref.errors) == set(batch_other.errors)
+        for sensor_id, error_ref in batch_ref.errors.items():
+            error_other = batch_other.errors[sensor_id]
+            assert type(error_ref) is type(error_other)
+            assert str(error_ref) == str(error_other)
+
+
+class TestEngineResolution:
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(engine="gpu-cluster")
+        with pytest.raises(ValueError):
+            ServiceConfig(engine_timeout_s=0.0)
+
+    def test_explicit_engine_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "process")
+        assert ServiceConfig(engine="inline").resolved_engine(4) == "inline"
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "process")
+        assert ServiceConfig().resolved_engine(1) == "process"
+        monkeypatch.setenv(ENGINE_ENV_VAR, "bogus")
+        with pytest.raises(ValueError):
+            ServiceConfig().resolved_engine(1)
+
+    def test_default_tracks_worker_count(self, monkeypatch):
+        monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+        assert ServiceConfig().resolved_engine(1) == "inline"
+        assert ServiceConfig().resolved_engine(4) == "thread"
+
+    def test_status_reports_engine(self):
+        service = build_service("native", engine="thread", n_backends=2)
+        try:
+            assert service.status()["engine"] == "thread"
+        finally:
+            service.close()
+
+
+@pytest.mark.parametrize("backend_name", BACKEND_NAMES)
+class TestEngineParity:
+    """All three engines, both backends: indistinguishable bits."""
+
+    def test_fault_free_bit_identical(self, backend_name):
+        histories, futures = make_workload()
+        results = {}
+        for engine in ENGINE_NAMES:
+            results[engine] = drive(
+                build_service(backend_name, engine), histories, futures
+            )
+        ref_batches, ref_singles, ref_placements, ref_elapsed = results[
+            "inline"
+        ]
+        assert all(len(batch) == N_SENSORS for batch in ref_batches)
+        assert all(batch.ok for batch in ref_batches)
+        for engine in ("thread", "process"):
+            batches, singles, placements, elapsed = results[engine]
+            assert_batches_identical(ref_batches, batches)
+            assert singles == ref_singles  # frozen dataclass, exact floats
+            assert placements == ref_placements
+            assert elapsed == ref_elapsed  # exact float equality
+        if backend_name == "simulated":
+            assert all(s > 0.0 for s in ref_elapsed)
+
+    def test_error_side_channel_identical(self, backend_name):
+        """Deterministic injected faults cross the process boundary with
+        their type and message intact, and land on the same sensors."""
+        histories, futures = make_workload(n_sensors=24)
+        profiles = [
+            FaultProfile(seed=100 + i, kernel_error_rate=0.08,
+                         kernel_nan_rate=0.05)
+            for i in range(N_BACKENDS)
+        ]
+        policy = ResiliencePolicy(
+            attempts=1, ladder=("ensemble",), failover=False
+        )
+        results = {}
+        for engine in ENGINE_NAMES:
+            service = build_service(
+                backend_name, engine,
+                fault_profiles=profiles, resilience=policy,
+            )
+            results[engine] = drive(service, histories, futures, rounds=3)
+        ref_batches = results["inline"][0]
+        # The profile rates make silence astronomically unlikely: the
+        # test must actually exercise the error side-channel.
+        assert any(batch.errors for batch in ref_batches)
+        assert any(len(batch) > 0 for batch in ref_batches)
+        for engine in ("thread", "process"):
+            assert_batches_identical(ref_batches, results[engine][0])
+
+
+class TestWorkerCrash:
+    """SIGKILL a shard worker: the batch completes (no hang), the dead
+    shard's sensors evacuate to survivors, and serving continues."""
+
+    N_CRASH_BACKENDS = 3
+    N_CRASH_SENSORS = 9
+
+    def _build(self):
+        return build_service(
+            "simulated", "process",
+            n_backends=self.N_CRASH_BACKENDS,
+            engine_timeout_s=20.0,
+        )
+
+    def test_killed_worker_evacuates_without_hanging(self):
+        histories, futures = make_workload(n_sensors=self.N_CRASH_SENSORS)
+        service = self._build()
+        try:
+            for sensor_id, history in histories.items():
+                service.register(sensor_id, history)
+            # Snapshot placements first: placement_of() refreshes the
+            # engine, and refreshing a process engine flushes (retires)
+            # the live worker generation.
+            placements = {
+                sid: service.placement_of(sid) for sid in histories
+            }
+            first = service.forecast_all()  # forks the workers
+            assert first.ok and len(first) == self.N_CRASH_SENSORS
+            pids = service.engine.worker_pids()
+            assert len(pids) == self.N_CRASH_BACKENDS
+            victim_index = sorted(pids)[0]
+            evacuees = {
+                sid for sid in histories if placements[sid] == victim_index
+            }
+            assert evacuees  # greedy balancing hosts >= 1 per backend
+            os.kill(pids[victim_index], signal.SIGKILL)
+
+            started = time.monotonic()
+            batch = service.forecast_all()
+            # Liveness: crash detection polls the process, it never sits
+            # out the full timeout, let alone hangs.
+            assert time.monotonic() - started < 15.0
+            # Completeness: every sensor is accounted for exactly once.
+            assert set(batch) | set(batch.errors) == set(histories)
+            assert not set(batch) & set(batch.errors)
+
+            # Evacuation: the dead shard's sensors moved to survivors
+            # and the backend is out of the admission rotation.
+            for sensor_id in evacuees:
+                assert service.placement_of(sensor_id) != victim_index
+            assert service._pool.state(victim_index) == "open"
+            assert service.sensors_per_backend()[victim_index] == 0
+
+            # The service stays serviceable on the survivor generation.
+            service.ingest_many(
+                {sid: float(futures[sid][0]) for sid in histories}
+            )
+            again = service.forecast_all()
+            assert set(again) | set(again.errors) == set(histories)
+            live = service.engine.worker_pids()
+            assert pids[victim_index] not in live.values()
+        finally:
+            service.close()
+
+    def test_crash_recovery_preserves_committed_history(self):
+        """Recovered sensors are rebuilt from the shared-memory series:
+        ingests committed before the crash survive into the rebuild."""
+        histories, futures = make_workload(n_sensors=6)
+        service = self._build()
+        try:
+            for sensor_id, history in histories.items():
+                service.register(sensor_id, history)
+            placements = {  # before forking; see the liveness test
+                sid: service.placement_of(sid) for sid in histories
+            }
+            service.forecast_all()
+            service.ingest_many(  # committed by the batch boundary
+                {sid: float(futures[sid][0]) for sid in histories}
+            )
+            pids = service.engine.worker_pids()
+            victim_index = sorted(pids)[0]
+            evacuees = [
+                sid for sid in histories if placements[sid] == victim_index
+            ]
+            os.kill(pids[victim_index], signal.SIGKILL)
+            service.forecast_all()
+            for sensor_id in evacuees:
+                series = service.sensor(sensor_id).series
+                assert series.size == HISTORY_POINTS + 1
+        finally:
+            service.close()
+
+
+class TestFlushTelemetry:
+    """Worker-side observability drains back to the parent — both per
+    batch and on graceful teardown — with request accounting intact."""
+
+    def test_no_request_events_lost_on_teardown(self):
+        obs.enable()
+        histories, futures = make_workload(n_sensors=6)
+        service = build_service(
+            "simulated", "process", n_backends=2
+        )
+        requests = 0
+        try:
+            for sensor_id, history in histories.items():
+                service.register(sensor_id, history)
+            for step in range(2):
+                service.forecast_all()
+                requests += 1
+                for sensor_id in sorted(histories)[:3]:
+                    service.forecast(sensor_id)
+                    requests += 1
+                service.ingest_many(
+                    {sid: float(futures[sid][step]) for sid in histories}
+                )
+                requests += 1
+        finally:
+            # Teardown right after a batch: the workers still hold their
+            # undrained telemetry tails until the FLUSH on close().
+            service.close()
+        events = obs.get_event_log().tail(10_000)
+        kinds = [event["kind"] for event in events]
+        assert kinds.count("request_start") == requests
+        assert kinds.count("request_end") == requests
+        assert obs.get_event_log().dropped_total == 0
+
+    def test_worker_metrics_merge_into_parent_registry(self):
+        obs.enable()
+        histories, _ = make_workload(n_sensors=4)
+        service = build_service("simulated", "process", n_backends=2)
+        try:
+            for sensor_id, history in histories.items():
+                service.register(sensor_id, history)
+            batch = service.forecast_all()
+            assert batch.ok
+        finally:
+            service.close()
+        metrics = obs.to_json(obs.get_registry())
+        forecasts = metrics["smiler_forecasts_total"]
+        total = sum(entry["value"] for entry in forecasts["series"])
+        assert total >= len(histories)
