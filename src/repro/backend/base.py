@@ -70,9 +70,21 @@ class ComputeBackend(Protocol):
 
     # ------------------------------------------------------------- kernels
     def dtw_verification(
-        self, query: np.ndarray, candidates: np.ndarray, rho: int
+        self,
+        query: np.ndarray,
+        candidates: np.ndarray,
+        rho: int,
+        cutoff: float | None = None,
+        lb_terms: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Banded (Sakoe-Chiba ``rho``) DTW of one query vs many candidates."""
+        """Banded (Sakoe-Chiba ``rho``) DTW of one query vs many candidates.
+
+        With a ``cutoff`` the kernel may early-abandon candidates whose
+        cumulative bound (partial DP cost + the admissible ``lb_terms``
+        tail) strictly exceeds it, returning ``inf`` for those; every
+        candidate with true distance ``<= cutoff`` keeps a distance
+        bit-identical to the unpruned kernel.
+        """
         ...
 
     def full_dtw(self, query: np.ndarray, candidates: np.ndarray) -> np.ndarray:

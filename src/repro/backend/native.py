@@ -20,7 +20,7 @@ import threading
 
 import numpy as np
 
-from ..dtw.distance import dtw_batch
+from ..dtw.distance import dtw_batch, dtw_batch_pruned
 from ..gpu.device import Allocation, GpuMemoryError
 
 __all__ = ["NativeBackend"]
@@ -55,13 +55,24 @@ class NativeBackend:
 
     # ------------------------------------------------------------- kernels
     def dtw_verification(
-        self, query: np.ndarray, candidates: np.ndarray, rho: int
+        self,
+        query: np.ndarray,
+        candidates: np.ndarray,
+        rho: int,
+        cutoff: float | None = None,
+        lb_terms: np.ndarray | None = None,
     ) -> np.ndarray:
         """Banded DTW of one query against many candidates."""
         candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
         if candidates.shape[0] == 0:
             return np.empty(0)
-        return dtw_batch(query, candidates, rho)
+        if cutoff is None:
+            return dtw_batch(query, candidates, rho)
+        result = dtw_batch_pruned(
+            query, candidates, rho, cutoff=cutoff, lb_terms=lb_terms
+        )
+        assert isinstance(result, np.ndarray)
+        return result
 
     def full_dtw(self, query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
         """Unbanded DTW of one query against many candidates."""

@@ -50,11 +50,19 @@ class SimulatedGpuBackend:
 
     # ------------------------------------------------------------- kernels
     def dtw_verification(
-        self, query: np.ndarray, candidates: np.ndarray, rho: int
+        self,
+        query: np.ndarray,
+        candidates: np.ndarray,
+        rho: int,
+        cutoff: float | None = None,
+        lb_terms: np.ndarray | None = None,
     ) -> np.ndarray:
         """Banded DTW via the compressed-warping-matrix kernel."""
         with self._lock:
-            return dtw_verification_kernel(self.device, query, candidates, rho)
+            return dtw_verification_kernel(
+                self.device, query, candidates, rho,
+                cutoff=cutoff, lb_terms=lb_terms,
+            )
 
     def full_dtw(self, query: np.ndarray, candidates: np.ndarray) -> np.ndarray:
         """Unbanded DTW paying the global-memory penalty (GPUScan)."""

@@ -2,18 +2,28 @@
 
 from .distance import (
     dtw_batch,
+    dtw_batch_pruned,
     dtw_distance,
     dtw_distance_compressed,
     dtw_distance_early_abandon,
 )
-from .envelope import Envelope, compute_envelope, envelope_extend
+from .envelope import (
+    Envelope,
+    compute_envelope,
+    compute_envelope_batch,
+    envelope_extend,
+    envelope_shift,
+)
 from .knn import KnnResult, ScanStats, fast_cpu_scan, knn_bruteforce
 from .lower_bounds import (
     lb_ec,
     lb_en,
     lb_eq,
+    lb_improved,
+    lb_improved_profile,
     lb_keogh,
     lb_kim,
+    lb_kim_profile,
     lb_keogh_terms,
     lb_profile,
     window_pair_lb_matrices,
@@ -28,12 +38,15 @@ from .measures import (
 
 __all__ = [
     "dtw_batch",
+    "dtw_batch_pruned",
     "dtw_distance",
     "dtw_distance_compressed",
     "dtw_distance_early_abandon",
     "Envelope",
     "compute_envelope",
+    "compute_envelope_batch",
     "envelope_extend",
+    "envelope_shift",
     "KnnResult",
     "ScanStats",
     "fast_cpu_scan",
@@ -41,8 +54,11 @@ __all__ = [
     "lb_ec",
     "lb_en",
     "lb_eq",
+    "lb_improved",
+    "lb_improved_profile",
     "lb_keogh",
     "lb_kim",
+    "lb_kim_profile",
     "lb_keogh_terms",
     "lb_profile",
     "window_pair_lb_matrices",

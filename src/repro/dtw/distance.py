@@ -17,7 +17,12 @@ Four implementations are provided:
 * :func:`dtw_distance_early_abandon` — row-minimum early abandoning used
   by the FastCPUScan baseline,
 * :func:`dtw_batch` — band DP vectorised across many candidate segments
-  (the shape a GPU block would compute in parallel).
+  (the shape a GPU block would compute in parallel),
+* :func:`dtw_batch_pruned` — the same batched DP with cumulative-bound
+  early abandoning: candidates whose partial path cost plus an
+  admissible tail bound exceeds the cutoff are dropped from the active
+  set mid-DP.  Survivors' distances are bit-identical to
+  :func:`dtw_batch`; abandoned candidates report ``inf``.
 """
 
 from __future__ import annotations
@@ -29,9 +34,16 @@ __all__ = [
     "dtw_distance_compressed",
     "dtw_distance_early_abandon",
     "dtw_batch",
+    "dtw_batch_pruned",
 ]
 
 _INF = np.inf
+
+#: Absolute slack added to the abandon cutoff so float rounding in the
+#: partial-cost + tail-bound sum can never abandon a candidate whose true
+#: distance is exactly at the threshold (extra slack only costs a little
+#: wasted verification, never exactness).
+ABANDON_SLACK = 1e-9
 
 
 def _check_inputs(query: np.ndarray, candidate: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -183,3 +195,107 @@ def dtw_batch(query, candidates, rho: int | None = None) -> np.ndarray:
             cur[:, j] = cost + best
         prev, cur = cur, prev
     return prev[:, d].copy()
+
+
+def dtw_batch_pruned(
+    query,
+    candidates,
+    rho: int,
+    cutoff: float = _INF,
+    lb_terms: np.ndarray | None = None,
+    return_cells: bool = False,
+) -> np.ndarray | tuple[np.ndarray, int]:
+    """Batched banded DTW with cumulative-bound early abandoning.
+
+    Like :func:`dtw_batch`, but after each DP row the per-candidate
+    abandon criterion
+
+        ``min(band cells of row i)  +  sum(lb_terms[i + rho :])``
+
+    is tested against ``cutoff``.  The first addend lower-bounds the cost
+    any warping path has accumulated through row ``i``; the second is an
+    admissible tail: candidate position ``j >= i + rho`` (0-based) can
+    only be matched by a query row ``> i`` under the band, so its
+    LB_Keogh term (squared distance to the query envelope, as produced by
+    :func:`~repro.dtw.lower_bounds.lb_improved_profile` pass 1) is still
+    entirely in the future.  A candidate is abandoned only when the
+    criterion *strictly* exceeds ``cutoff + ABANDON_SLACK``, so every
+    candidate whose true distance is ``<= cutoff`` survives and its
+    distance is **bit-identical** to :func:`dtw_batch` (the per-candidate
+    arithmetic is unchanged; shrinking the active set never reorders it).
+    Abandoned candidates report ``inf`` — their true distance is
+    guaranteed ``> cutoff``.
+
+    ``lb_terms=None`` disables the tail (row minima still abandon).
+    ``return_cells=True`` additionally returns the number of DP cells
+    actually expanded, for cost-model attribution.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+    d = query.size
+    if candidates.shape[1] != d:
+        raise ValueError(
+            f"candidates of length {candidates.shape[1]} do not match query "
+            f"of length {d}"
+        )
+    n = candidates.shape[0]
+    if n == 0:
+        empty = np.empty(0)
+        return (empty, 0) if return_cells else empty
+    band = int(rho)
+    if band < 0:
+        raise ValueError(f"warping width must be non-negative, got {rho}")
+    threshold = cutoff + ABANDON_SLACK
+
+    if lb_terms is not None:
+        lb_terms = np.asarray(lb_terms, dtype=np.float64)
+        if lb_terms.shape != (n, d):
+            raise ValueError(
+                f"lb_terms of shape {lb_terms.shape} do not match "
+                f"{n} candidates of length {d}"
+            )
+        # tails[:, j] = lb_terms[:, j:].sum() — the admissible tail when
+        # candidate positions >= j are still unmatched.
+        tails = np.zeros((n, d + 1))
+        tails[:, :d] = np.cumsum(lb_terms[:, ::-1], axis=1)[:, ::-1]
+    else:
+        tails = None
+
+    active = np.arange(n)
+    out = np.full(n, _INF)
+    # prev/cur always hold one row per *active* candidate, in active order;
+    # abandoning compacts them so later rows never touch dead candidates.
+    prev = np.full((active.size, d + 1), _INF)
+    prev[:, 0] = 0.0
+    cur = np.empty((active.size, d + 1))
+    cells = 0
+    for i in range(1, d + 1):
+        cur[:] = _INF
+        lo = max(1, i - band)
+        hi = min(d, i + band)
+        qi = query[i - 1]
+        for j in range(lo, hi + 1):
+            cost = (qi - candidates[active, j - 1]) ** 2
+            best = np.minimum(prev[:, j], prev[:, j - 1])
+            np.minimum(best, cur[:, j - 1], out=best)
+            cur[:, j] = cost + best
+        cells += active.size * (hi - lo + 1)
+        if i < d and threshold < _INF:
+            bound = cur[:, lo : hi + 1].min(axis=1)
+            if tails is not None:
+                bound = bound + tails[active, min(i + band, d)]
+            keep = bound <= threshold
+            if not keep.all():
+                active = active[keep]
+                if active.size == 0:
+                    break
+                survivors = cur[keep]
+                cur = np.empty_like(survivors)
+                prev = survivors
+                continue
+        prev, cur = cur, prev
+    if active.size:
+        out[active] = prev[:, d]
+    if return_cells:
+        return out, cells
+    return out

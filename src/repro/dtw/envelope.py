@@ -1,20 +1,35 @@
-"""Warping envelopes (Definition B.1) with O(n) construction.
+"""Warping envelopes (Definition B.1), vectorised + streaming maintenance.
 
 ``U_i = max(c_{i-rho} .. c_{i+rho})`` and ``L_i`` the analogous minimum,
-with the window clipped at sequence boundaries.  Built with the monotonic
-deque (Lemire) algorithm so envelope maintenance is linear, plus a
-streaming helper used by the continuous-query reuse path: appending one
-point to a series only changes the envelope of the trailing ``rho``
-positions.
+with the window clipped at sequence boundaries.  Three construction
+paths, all producing bit-identical envelopes:
+
+* :func:`compute_envelope` — one sequence, vectorised: pad with
+  ``±inf`` sentinels and reduce a ``(n, 2*rho + 1)`` sliding-window
+  *view* (no materialised copy) along its last axis,
+* :func:`compute_envelope_batch` — the same reduction broadcast over a
+  whole ``(n_candidates, d)`` batch at once; this is what lets the
+  search cascade evaluate Lemire's ``LB_Improved`` second pass for every
+  surviving candidate in one NumPy expression,
+* :func:`envelope_extend` / :func:`envelope_shift` — streaming reuse for
+  continuous queries: appending a point only changes the trailing
+  ``rho`` positions; sliding a fixed-length query by one point only
+  changes the first ``rho`` and last ``rho + 1`` positions, everything
+  in between is the old envelope shifted left by one.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
-__all__ = ["Envelope", "compute_envelope", "envelope_extend"]
+__all__ = [
+    "Envelope",
+    "compute_envelope",
+    "compute_envelope_batch",
+    "envelope_extend",
+    "envelope_shift",
+]
 
 
 class Envelope:
@@ -35,39 +50,61 @@ class Envelope:
         return Envelope(self.upper[start:stop], self.lower[start:stop], self.rho)
 
 
+def _check_rho(rho: int) -> int:
+    if rho < 0:
+        raise ValueError(f"warping width must be non-negative, got {rho}")
+    return int(rho)
+
+
 def compute_envelope(values, rho: int) -> Envelope:
     """Build the envelope of ``values`` with warping width ``rho``.
 
-    Runs in O(n) using two monotonic deques (one for max, one for min).
+    Vectorised: the ``±inf`` padding reproduces the boundary clipping
+    (``max(values[max(0, i-rho) : i+rho+1])``) exactly, and the sliding
+    window is a stride view, so the whole construction is two NumPy
+    reductions instead of a per-point Python loop.
     """
     values = np.asarray(values, dtype=np.float64)
     if values.ndim != 1:
         raise ValueError("envelope expects a 1-D sequence")
-    if rho < 0:
-        raise ValueError(f"warping width must be non-negative, got {rho}")
-    n = values.size
-    upper = np.empty(n)
-    lower = np.empty(n)
-    max_q: deque[int] = deque()
-    min_q: deque[int] = deque()
-
-    for j in range(n + rho):
-        if j < n:
-            while max_q and values[max_q[-1]] <= values[j]:
-                max_q.pop()
-            max_q.append(j)
-            while min_q and values[min_q[-1]] >= values[j]:
-                min_q.pop()
-            min_q.append(j)
-        center = j - rho
-        if center >= 0:
-            while max_q and max_q[0] < center - rho:
-                max_q.popleft()
-            while min_q and min_q[0] < center - rho:
-                min_q.popleft()
-            upper[center] = values[max_q[0]]
-            lower[center] = values[min_q[0]]
+    rho = _check_rho(rho)
+    if rho == 0 or values.size == 0:
+        return Envelope(values.copy(), values.copy(), rho)
+    pad_hi = np.full(rho, -np.inf)
+    pad_lo = np.full(rho, np.inf)
+    upper = sliding_window_view(
+        np.concatenate([pad_hi, values, pad_hi]), 2 * rho + 1
+    ).max(axis=1)
+    lower = sliding_window_view(
+        np.concatenate([pad_lo, values, pad_lo]), 2 * rho + 1
+    ).min(axis=1)
     return Envelope(upper, lower, rho)
+
+
+def compute_envelope_batch(
+    values: np.ndarray, rho: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Envelopes of many equal-length sequences at once.
+
+    ``values`` has shape ``(n, d)``; returns ``(upper, lower)`` of the
+    same shape where row ``i`` is the envelope of ``values[i]``.  One
+    broadcast reduction serves the whole batch — the shape the cascade's
+    ``LB_Improved`` tier computes per filter pass.
+    """
+    values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+    rho = _check_rho(rho)
+    n, d = values.shape
+    if rho == 0 or d == 0 or n == 0:
+        return values.copy(), values.copy()
+    pad_hi = np.full((n, rho), -np.inf)
+    pad_lo = np.full((n, rho), np.inf)
+    upper = sliding_window_view(
+        np.concatenate([pad_hi, values, pad_hi], axis=1), 2 * rho + 1, axis=1
+    ).max(axis=2)
+    lower = sliding_window_view(
+        np.concatenate([pad_lo, values, pad_lo], axis=1), 2 * rho + 1, axis=1
+    ).min(axis=2)
+    return upper, lower
 
 
 def envelope_extend(values, old: Envelope, n_new: int) -> Envelope:
@@ -91,11 +128,49 @@ def envelope_extend(values, old: Envelope, n_new: int) -> Envelope:
     stable = max(0, n_old - rho)
     upper[:stable] = old.upper[:stable]
     lower[:stable] = old.lower[:stable]
-    # Recompute the affected tail directly; it is short.
-    for center in range(stable, n):
-        lo = max(0, center - rho)
-        hi = min(n, center + rho + 1)
-        window = values[lo:hi]
-        upper[center] = window.max()
-        lower[center] = window.min()
+    # Recompute the affected tail via the vectorised path: the envelope
+    # of the slice starting rho before the first affected centre agrees
+    # with the full envelope on every affected position.
+    tail_lo = max(0, stable - rho)
+    tail_env = compute_envelope(values[tail_lo:], rho)
+    upper[stable:] = tail_env.upper[stable - tail_lo :]
+    lower[stable:] = tail_env.lower[stable - tail_lo :]
+    return Envelope(upper, lower, rho)
+
+
+def envelope_shift(values, old: Envelope) -> Envelope:
+    """Envelope of a query slid one step forward, reusing the old one.
+
+    ``values`` is the new query; the caller guarantees
+    ``values[:-1] == old_values[1:]`` (the continuous-search slide:
+    drop the oldest point, append the newest).  Every interior centre
+    ``rho <= i <= n - 2 - rho`` sees exactly the window the old envelope
+    saw at ``i + 1``, so only the first ``rho`` positions (whose old
+    windows included the dropped point) and the last ``rho + 1``
+    positions (whose windows include the appended point) are recomputed.
+    The result is the *exact* envelope, not a conservative widening.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    rho = old.rho
+    n = values.size
+    if n != len(old):
+        raise ValueError(
+            f"old envelope covers {len(old)} points but the slid query has {n}"
+        )
+    head = min(rho, n)          # recompute [0, head)
+    tail = max(n - 1 - rho, 0)  # recompute [tail, n)
+    if head >= tail:
+        return compute_envelope(values, rho)
+    upper = np.empty(n)
+    lower = np.empty(n)
+    upper[head:tail] = old.upper[head + 1 : tail + 1]
+    lower[head:tail] = old.lower[head + 1 : tail + 1]
+    # Head: centres [0, head) only see values[0 : head + rho).
+    head_env = compute_envelope(values[: head + rho], rho)
+    upper[:head] = head_env.upper[:head]
+    lower[:head] = head_env.lower[:head]
+    # Tail: centres [tail, n) only see values[tail - rho :).
+    tail_env = compute_envelope(values[tail - rho :], rho)
+    upper[tail:] = tail_env.upper[rho:]
+    lower[tail:] = tail_env.lower[rho:]
     return Envelope(upper, lower, rho)

@@ -21,7 +21,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from .distance import dtw_batch, dtw_distance_early_abandon
 from .envelope import compute_envelope
-from .lower_bounds import lb_profile
+from .lower_bounds import lb_kim, lb_profile
 
 __all__ = ["KnnResult", "ScanStats", "knn_bruteforce", "fast_cpu_scan"]
 
@@ -154,6 +154,12 @@ def fast_cpu_scan(
         best = -heap[0][0] if len(heap) == k else np.inf
         if bounds[idx] > best:
             break  # all remaining bounds are larger; nothing can improve
+        if lb_kim(query, segments[start]) > best:
+            # O(1) first/last-point bound beats the k-th best: the true
+            # distance can only be larger, skip the DTW entirely.
+            stats.lb_positions += 2
+            continue
+        stats.lb_positions += 2
         distance = dtw_distance_early_abandon(query, segments[start], rho, best)
         stats.candidates_verified += 1
         stats.dtw_cells += d * min(d, 2 * rho + 1)

@@ -1,4 +1,4 @@
-"""DTW lower bounds: LB_Keogh, LB_EQ, LB_EC and the enhanced LB_en.
+"""DTW lower bounds: LB_Kim, LB_Keogh, LB_EQ/LB_EC/LB_en, LB_Improved.
 
 Notation follows Section 4.2:
 
@@ -8,11 +8,19 @@ Notation follows Section 4.2:
   the query's raw values,
 * ``LB_en(Q, C) = max(LB_EQ, LB_EC)`` — the paper's enhanced bound
   (Theorem 4.1), tighter than either side and free on a parallel device
-  because both sides share the same memory scans.
+  because both sides share the same memory scans,
+* ``LB_Improved(Q, C)`` — Lemire's two-pass bound (arxiv 0811.3301):
+  the first pass is plain ``LB_EQ``; the second projects the candidate
+  onto the query's envelope tube (``H = clip(C, L(Q), U(Q))``) and adds
+  ``LB_keogh(E(H), Q)``.  Always ``>= LB_EQ`` and still ``<= DTW``.
 
 All bounds accumulate squared differences, matching
 :mod:`repro.dtw.distance`, so ``LB <= DTW`` holds exactly (tested with
-hypothesis).
+hypothesis).  The bounds are *not* mutually ordered — ``LB_Kim`` can
+exceed ``LB_en`` and vice versa (e.g. ``rho=1``, ``q=[0,5]``,
+``c=[5,0]``: Kim is 50 while the envelopes overlap completely) — which
+is exactly why the search cascade runs them cheapest-first and each
+tier prunes independently against the same threshold.
 
 For subsequence search the candidate-side envelope is computed once over
 the *whole* series: the global envelope at absolute position ``t + j``
@@ -26,15 +34,18 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-from .envelope import Envelope, compute_envelope
+from .envelope import Envelope, compute_envelope, compute_envelope_batch
 
 __all__ = [
     "lb_kim",
+    "lb_kim_profile",
     "lb_keogh",
     "lb_keogh_terms",
     "lb_eq",
     "lb_ec",
     "lb_en",
+    "lb_improved",
+    "lb_improved_profile",
     "lb_profile",
     "window_pair_lb_matrices",
 ]
@@ -45,14 +56,39 @@ def lb_kim(query, candidate) -> float:
 
     Any warping path must align the first points together and the last
     points together, so their squared distances sum to a lower bound.
+    When both sequences are single points those two alignments are the
+    *same* DP cell, so only one term may be counted (otherwise the
+    "bound" would be twice the DTW distance).
     """
     query = np.asarray(query, dtype=np.float64)
     candidate = np.asarray(candidate, dtype=np.float64)
     if query.size == 0 or candidate.size == 0:
         raise ValueError("LB_Kim of empty sequences is undefined")
-    return float(
-        (query[0] - candidate[0]) ** 2 + (query[-1] - candidate[-1]) ** 2
-    )
+    first = (query[0] - candidate[0]) ** 2
+    if query.size == 1 and candidate.size == 1:
+        return float(first)
+    return float(first + (query[-1] - candidate[-1]) ** 2)
+
+
+def lb_kim_profile(
+    query: np.ndarray, series: np.ndarray, starts: np.ndarray
+) -> np.ndarray:
+    """``LB_Kim`` of one query against many series segments, vectorised.
+
+    Entry ``i`` bounds ``DTW(query, series[starts[i] : starts[i] + d])``
+    touching only two series values per candidate — the cascade's O(1)
+    tier 0.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    series = np.asarray(series, dtype=np.float64)
+    starts = np.asarray(starts, dtype=np.intp)
+    d = query.size
+    if d == 0:
+        raise ValueError("LB_Kim of empty sequences is undefined")
+    first = (query[0] - series[starts]) ** 2
+    if d == 1:
+        return first
+    return first + (query[-1] - series[starts + d - 1]) ** 2
 
 
 def lb_keogh_terms(envelope: Envelope, values: np.ndarray) -> np.ndarray:
@@ -88,6 +124,68 @@ def lb_ec(query, candidate, rho: int) -> float:
 def lb_en(query, candidate, rho: int) -> float:
     """Enhanced lower bound ``max(LB_EQ, LB_EC)`` (Theorem 4.1)."""
     return max(lb_eq(query, candidate, rho), lb_ec(query, candidate, rho))
+
+
+def lb_improved_profile(
+    query: np.ndarray,
+    candidates: np.ndarray,
+    rho: int,
+    query_envelope: Envelope | None = None,
+    return_terms: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+    """Lemire's two-pass ``LB_Improved`` of one query vs many candidates.
+
+    ``candidates`` has shape ``(n, d)``.  Pass 1 is the ordinary
+    ``LB_EQ`` terms of each candidate against the query envelope; pass 2
+    projects each candidate onto the envelope tube,
+    ``H = clip(C, L(Q), U(Q))``, and adds ``LB_keogh(E(H), Q)``.
+
+    Admissibility with squared point costs: for any warping pair
+    ``(q_i, c_j)`` with ``c_j`` above the tube, ``q_i <= U_j`` implies
+    ``(q_i - c_j)^2 >= (c_j - U_j)^2 + (U_j - q_i)^2`` (and symmetrically
+    below), so ``DTW(Q, C) >= LB_EQ(Q, C) + DTW(Q, H) >=
+    LB_EQ(Q, C) + LB_keogh(E(H), Q)``.  In particular
+    ``LB_Improved >= LB_EQ`` always.
+
+    ``return_terms=True`` additionally returns the per-position pass-1
+    terms (shape ``(n, d)``) so the verification kernel can reuse them
+    as cumulative-bound tails for early abandoning.
+    """
+    query = np.asarray(query, dtype=np.float64)
+    candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+    d = query.size
+    if candidates.shape[1] != d:
+        raise ValueError(
+            f"candidates of length {candidates.shape[1]} do not match query "
+            f"of length {d}"
+        )
+    if query_envelope is None:
+        query_envelope = compute_envelope(query, rho)
+    n = candidates.shape[0]
+    if n == 0:
+        empty = np.empty(0)
+        return (empty, np.empty((0, d))) if return_terms else empty
+    terms1 = lb_keogh_terms(query_envelope, candidates)
+    # Pass 2: project each candidate into the query tube and bound the
+    # query's distance to the projection's envelope.
+    projected = np.clip(
+        candidates, query_envelope.lower, query_envelope.upper
+    )
+    h_upper, h_lower = compute_envelope_batch(projected, rho)
+    above = np.clip(query[None, :] - h_upper, 0.0, None)
+    below = np.clip(h_lower - query[None, :], 0.0, None)
+    bound = terms1.sum(axis=1) + (above**2 + below**2).sum(axis=1)
+    if return_terms:
+        return bound, terms1
+    return bound
+
+
+def lb_improved(query, candidate, rho: int) -> float:
+    """``LB_Improved(Q, C)`` — Lemire's two-pass bound for one pair."""
+    candidate = np.asarray(candidate, dtype=np.float64)
+    result = lb_improved_profile(query, candidate[None, :], rho)
+    assert isinstance(result, np.ndarray)
+    return float(result[0])
 
 
 def lb_profile(

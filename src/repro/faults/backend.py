@@ -131,12 +131,19 @@ class FaultInjectingBackend:
 
     # ------------------------------------------------------------- kernels
     def dtw_verification(
-        self, query: np.ndarray, candidates: np.ndarray, rho: int
+        self,
+        query: np.ndarray,
+        candidates: np.ndarray,
+        rho: int,
+        cutoff: float | None = None,
+        lb_terms: np.ndarray | None = None,
     ) -> np.ndarray:
         """Banded DTW, possibly failing or NaN-corrupted per the profile."""
         with self._lock:
             tick = self._kernel_preamble("dtw_verification")
-            out = self.inner.dtw_verification(query, candidates, rho)
+            out = self.inner.dtw_verification(
+                query, candidates, rho, cutoff=cutoff, lb_terms=lb_terms
+            )
             return self._maybe_corrupt("dtw_verification", tick, out)
 
     def full_dtw(self, query: np.ndarray, candidates: np.ndarray) -> np.ndarray:

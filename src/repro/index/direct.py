@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..backend.base import ComputeBackend, as_backend
-from ..dtw.envelope import compute_envelope
+from ..dtw.envelope import Envelope, compute_envelope
 from ..dtw.lower_bounds import lb_profile
 from ..gpu.kernels import OPS_PER_LB_TERM, THREADS_PER_BLOCK
 
@@ -25,17 +25,24 @@ def direct_lb_en(
     series: np.ndarray,
     item_lengths: tuple[int, ...],
     rho: int,
+    series_envelope: Envelope | None = None,
 ) -> dict[int, np.ndarray]:
     """``LB_en`` of every item query against every candidate, from scratch.
 
     One simulated kernel per item query: a block of threads per chunk of
     candidates, each thread walking the full ``d`` positions of its
-    candidate for both bound sides (no reuse whatsoever).
+    candidate for both bound sides (no reuse whatsoever).  A caller that
+    already maintains the global series envelope (the window index does)
+    can pass it via ``series_envelope`` to skip the O(n) recomputation.
     """
     backend = as_backend(backend)
     master_query = np.asarray(master_query, dtype=np.float64)
     series = np.asarray(series, dtype=np.float64)
-    series_env = compute_envelope(series, rho)
+    series_env = (
+        series_envelope
+        if series_envelope is not None
+        else compute_envelope(series, rho)
+    )
     results: dict[int, np.ndarray] = {}
     for d in sorted(set(int(x) for x in item_lengths)):
         query = master_query[master_query.size - d :]

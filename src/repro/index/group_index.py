@@ -16,7 +16,7 @@ bounds fall out of one pass over the window-level posting lists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -45,10 +45,21 @@ class ItemLowerBounds:
     lbeq: np.ndarray
     lbec: np.ndarray
     covered: np.ndarray
+    _enhanced: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def enhanced(self) -> np.ndarray:
-        """``LB_en``-style combined bound ``max(LB_EQ, LB_EC)``."""
-        return np.maximum(self.lbeq, self.lbec)
+        """``LB_en``-style combined bound ``max(LB_EQ, LB_EC)``, cached.
+
+        The search cascade reads this array once per item query per tier;
+        caching keeps the elementwise max from being recomputed when the
+        same bounds object is consulted repeatedly (threshold seeding and
+        filtering both read it).
+        """
+        if self._enhanced is None:
+            self._enhanced = np.maximum(self.lbeq, self.lbec)
+        return self._enhanced
 
     def bound(self, mode: str) -> np.ndarray:
         """Select the bound variant: ``"en"``, ``"eq"`` or ``"ec"``."""

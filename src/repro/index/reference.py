@@ -1,21 +1,61 @@
-"""Literal reference implementation of Algorithm 1 (Appendix D).
+"""Reference oracles the optimised index/search layers are tested against.
 
-A straight transcription of the paper's pseudo-code — one "thread" per
-(CSG, DW) pair walking the posting lists in suffix order — used as the
-oracle the vectorised :class:`~repro.index.group_index.GroupLevelIndex`
-is tested against.  Deliberately slow and deliberately shaped like the
-printed algorithm, comments included.
+* :func:`algorithm1_reference` — a literal transcription of the paper's
+  Algorithm 1 pseudo-code (Appendix D), one "thread" per (CSG, DW) pair
+  walking the posting lists in suffix order; the oracle the vectorised
+  :class:`~repro.index.group_index.GroupLevelIndex` is tested against.
+* :func:`suffix_knn_reference` — a full banded-DTW scan over every valid
+  candidate start, no filtering of any kind; the oracle the pruning
+  cascade in :class:`~repro.index.suffix_search.SuffixKnnEngine` must
+  match **bit-identically** (starts and distances).
+
+Both are deliberately slow and deliberately simple.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
+from ..dtw.distance import dtw_batch
 from ..timeseries.windows import csg_size
 from .group_index import ItemLowerBounds
 from .window_index import WindowLevelIndex
 
-__all__ = ["algorithm1_reference"]
+__all__ = ["algorithm1_reference", "suffix_knn_reference"]
+
+
+def suffix_knn_reference(
+    series: np.ndarray,
+    query: np.ndarray,
+    k_max: int,
+    rho: int,
+    margin: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact kNN by full banded DTW over every valid candidate start.
+
+    Candidate-mask semantics match the engine's exactly (a start ``t`` is
+    valid when ``t + d + margin <= len(series)``, so the h-step target of
+    every answer lies strictly in the past), distances come from the same
+    :func:`~repro.dtw.distance.dtw_batch` kernel the backends dispatch,
+    and ties resolve by smallest start (stable sort over ascending
+    starts) — so a correct cascade must reproduce this answer
+    bit-identically, which the differential tests assert.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    d = query.size
+    last_valid = series.size - d - margin
+    if last_valid < 0:
+        raise ValueError(
+            f"no candidates for item length {d}: series too short"
+        )
+    starts = np.arange(last_valid + 1)
+    segments = sliding_window_view(series, d)[starts]
+    distances = dtw_batch(query, segments, rho)
+    k = min(k_max, starts.size)
+    order = np.argsort(distances, kind="stable")[:k]
+    return starts[order], distances[order]
 
 
 def algorithm1_reference(

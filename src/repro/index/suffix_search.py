@@ -1,39 +1,57 @@
 """(Continuous) Suffix kNN Search (Definition 4.1, Section 4.3.3).
 
 The :class:`SuffixKnnEngine` glues the two index levels to the
-filter → verify → select pipeline:
+filter → verify → select pipeline.  Filtering is a **tiered pruning
+cascade** in the UCR-suite mold, cheapest bound first, each tier only
+touching survivors of the previous one:
 
-* **Filtering** — drop candidates whose group-level bound exceeds the
-  threshold ``tau_i``.  Initial queries seed ``tau_i`` from a pool of
-  candidates with the smallest lower bounds; continuous queries reuse
-  the previous step's kNN segments (Section 4.3.3).  The pool is
-  verified and ``tau_i`` is its k-th smallest *true* DTW — a provable
-  upper bound on the true k-th NN distance (the pool is a subset of all
-  candidates), so the search stays exact.  Two refinements over the
-  paper's wording: the pool holds a few multiples of k (a single
-  smallest-LB candidate can have a large true distance, which would
-  disable filtering), and we use the pool's k-th smallest DTW rather
-  than the DTW of the k-th-by-LB candidate (which can *under*-estimate
-  the k-th NN distance on adversarial data and lose exactness).
-* **Verification** — banded DTW (compressed-warping-matrix kernel) on
-  the unfiltered candidates, batched on the simulated GPU.
-* **Selection** — the device k-selection kernel ([3] with the paper's
-  two improvements).
+* **tier 0 — LB_Kim**: the O(1) first/last-point bound (two series
+  touches per candidate, vectorised over all candidates),
+* **tier 1 — LB_w**: the group-level window-enhanced envelope bound the
+  SMiLer index precomputed (free at query time),
+* **tier 2 — LB_Improved**: Lemire's two-pass bound (arxiv 0811.3301),
+  batched across surviving candidates; its pass-1 per-position terms are
+  kept as admissible tails for the next tier,
+* **tier 3 — early-abandoning DTW**: the verification kernel abandons a
+  candidate mid-DP once its partial path cost plus the remaining
+  LB_Improved tail exceeds the threshold.
+
+Every tier prunes against the same threshold ``tau_i`` and every bound
+is ``<= DTW`` (admissible), so the cascade is **exact**: the answer set
+is bit-identical to a full-DTW reference scan (pinned by the
+differential tests against
+:func:`repro.index.reference.suffix_knn_reference`).
+
+Threshold seeding: initial queries seed ``tau_i`` from a pool of
+candidates with the smallest lower bounds; continuous queries reuse the
+previous step's kNN segments (Section 4.3.3).  The pool is verified and
+``tau_i`` is its k-th smallest *true* DTW — a provable upper bound on
+the true k-th NN distance (the pool is a subset of all candidates), so
+the search stays exact.  Two refinements over the paper's wording: the
+pool holds a few multiples of k (a single smallest-LB candidate can have
+a large true distance, which would disable filtering), and we use the
+pool's k-th smallest DTW rather than the DTW of the k-th-by-LB candidate
+(which can *under*-estimate the k-th NN distance on adversarial data and
+lose exactness).
 
 `step()` advances one continuous-prediction tick: the observed point is
-appended, the window level is ring-updated (Remark 1) and the search
+appended, the window level is ring-updated (Remark 1), the per-item
+query envelopes are slid in O(rho) instead of recomputed, and the search
 repeats with threshold reuse.
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from ..backend.base import ComputeBackend, as_backend
+from ..dtw.envelope import Envelope, compute_envelope, envelope_shift
+from ..dtw.lower_bounds import lb_improved_profile, lb_kim_profile
+from ..gpu.kernels import OPS_PER_LB_TERM, THREADS_PER_BLOCK
 from ..obs import hooks as obs
 from .group_index import GroupLevelIndex, ItemLowerBounds
 from .window_index import WindowLevelIndex
@@ -41,6 +59,10 @@ from .window_index import WindowLevelIndex
 __all__ = ["SuffixSearchConfig", "SuffixKnnEngine", "SuffixKnnAnswer"]
 
 logger = logging.getLogger(__name__)
+
+#: Slack added to the filtering threshold so float rounding in a lower
+#: bound can never prune a candidate sitting exactly at ``tau``.
+_FILTER_SLACK = 1e-12
 
 
 @dataclass(frozen=True)
@@ -54,6 +76,12 @@ class SuffixSearchConfig:
     margin: int = 1
     lb_mode: str = "en"
     reuse_threshold: bool = True
+    #: Run the full pruning cascade (LB_Kim → LB_w → LB_Improved →
+    #: early-abandoning DTW).  ``False`` falls back to the single LB_w
+    #: filter pass with unpruned verification — same answers, more work —
+    #: kept as the measurable pre-cascade baseline for
+    #: ``benchmarks/bench_search.py``.
+    cascade: bool = True
 
     def __post_init__(self) -> None:
         if self.k_max <= 0:
@@ -74,14 +102,32 @@ class SuffixSearchConfig:
 
 @dataclass
 class SuffixKnnAnswer:
-    """kNN answer for one item query plus pipeline accounting."""
+    """kNN answer for one item query plus pipeline accounting.
+
+    ``candidates_unfiltered`` counts candidates that survived every
+    lower-bound tier; ``candidates_verified`` counts candidates whose
+    true DTW was actually computed — the threshold seeds are verified
+    even when their bound later exceeds ``tau``, so verified can exceed
+    unfiltered (this distinction is the fixed accounting the bench
+    relies on).  ``pruned_kim``/``pruned_window``/``pruned_improved``
+    count per-tier kills; ``abandoned_early`` counts candidates the DTW
+    kernel dropped mid-DP.  ``verification_sim_s`` is the simulated
+    seconds of threshold seeding + filtering + verification only;
+    k-selection is attributed separately to ``selection_sim_s``.
+    """
 
     item_length: int
     starts: np.ndarray
     distances: np.ndarray
     candidates_total: int = 0
     candidates_unfiltered: int = 0
+    candidates_verified: int = 0
+    pruned_kim: int = 0
+    pruned_window: int = 0
+    pruned_improved: int = 0
+    abandoned_early: int = 0
     verification_sim_s: float = 0.0
+    selection_sim_s: float = 0.0
 
     def top(self, k: int) -> tuple[np.ndarray, np.ndarray]:
         """The k nearest of the stored (k_max-sized) answer."""
@@ -118,6 +164,9 @@ class SuffixKnnEngine:
         self.window_index.build(master_query)
         self._master_query = master_query.copy()
         self._previous_knn: dict[int, np.ndarray] = {}
+        # Item-query envelopes, slid (not recomputed) across continuous
+        # steps; keyed by item length, built lazily on first search.
+        self._query_envs: dict[int, Envelope] = {}
 
     # ---------------------------------------------------------------- state
     @property
@@ -133,6 +182,14 @@ class SuffixKnnEngine:
     def item_query(self, d: int) -> np.ndarray:
         """``IQ_i``: the d-length suffix of the master query."""
         return self._master_query[self._master_query.size - d :]
+
+    def _query_envelope(self, d: int) -> Envelope:
+        """Envelope of ``IQ_d``, reused across continuous steps."""
+        env = self._query_envs.get(d)
+        if env is None:
+            env = compute_envelope(self.item_query(d), self.config.rho)
+            self._query_envs[d] = env
+        return env
 
     # --------------------------------------------------------------- search
     def search(self) -> dict[int, SuffixKnnAnswer]:
@@ -152,6 +209,11 @@ class SuffixKnnEngine:
         self._master_query = np.concatenate(
             [self._master_query[1:], [float(new_point)]]
         )
+        # Slide the cached item-query envelopes along with the query:
+        # the new IQ_d drops the oldest point and appends the newest, so
+        # only O(rho) envelope positions change.
+        for d, env in self._query_envs.items():
+            self._query_envs[d] = envelope_shift(self.item_query(d), env)
 
     def step(self, new_point: float) -> dict[int, SuffixKnnAnswer]:
         """Advance one continuous tick, then search with reuse."""
@@ -169,6 +231,38 @@ class SuffixKnnEngine:
             mask[: last_valid + 1] = True
         return mask
 
+    def _seed_threshold(
+        self,
+        d: int,
+        k: int,
+        starts: np.ndarray,
+        bound: np.ndarray,
+        segments: np.ndarray,
+        query: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Verified seed pool and the threshold ``tau_i`` (its k-th DTW)."""
+        cfg = self.config
+        prev = self._previous_knn.get(d)
+        if cfg.reuse_threshold and prev is not None:
+            # Previous kNN segments are near-optimal for the barely-moved
+            # query; their k-th smallest current DTW is a tight threshold.
+            seed_starts = prev[(prev >= starts[0]) & (prev <= starts[-1])]
+            if seed_starts.size < k:
+                extra = starts[np.argsort(bound, kind="stable")[:k]]
+                seed_starts = np.union1d(seed_starts, extra)
+        else:
+            logger.debug(
+                "item d=%d: no previous kNN to reuse; seeding tau from "
+                "the smallest-LB pool", d,
+            )
+            pool = min(max(4 * k, 64), starts.size)
+            seed_starts = starts[np.argpartition(bound, pool - 1)[:pool]]
+        seed_distances = self.backend.dtw_verification(
+            query, segments[seed_starts], cfg.rho
+        )
+        tau = float(np.partition(seed_distances, k - 1)[k - 1])
+        return seed_starts, seed_distances, tau
+
     def _search_one(self, d: int, lbs: ItemLowerBounds) -> SuffixKnnAnswer:
         cfg = self.config
         series = self.window_index.series
@@ -184,53 +278,116 @@ class SuffixKnnEngine:
         segments = sliding_window_view(series, d)
 
         before = self.backend.elapsed_s
+        pruned_kim = pruned_window = pruned_improved = 0
 
         with obs.span("dtw_refine", self.backend) as sp:
-            # --- threshold tau_i ---------------------------------------------
-            prev = self._previous_knn.get(d)
-            if cfg.reuse_threshold and prev is not None:
-                # Previous kNN segments are near-optimal for the barely-moved
-                # query; their k-th smallest current DTW is a tight threshold.
-                seed_starts = prev[(prev >= starts[0]) & (prev <= starts[-1])]
-                if seed_starts.size < k:
-                    extra = starts[np.argsort(bound, kind="stable")[:k]]
-                    seed_starts = np.union1d(seed_starts, extra)
-            else:
-                logger.debug(
-                    "item d=%d: no previous kNN to reuse; seeding tau from "
-                    "the smallest-LB pool", d,
+            seed_starts, seed_distances, tau = self._seed_threshold(
+                d, k, starts, bound, segments, query
+            )
+            gate = tau + _FILTER_SLACK
+
+            # --- filtering cascade -------------------------------------------
+            if cfg.cascade:
+                # Tier 0: LB_Kim — two series touches per candidate.
+                kim = lb_kim_profile(query, series, starts)
+                keep = kim <= gate
+                survivors = starts[keep]
+                pruned_kim = int(starts.size - survivors.size)
+                self.backend.launch(
+                    "search_lb_kim",
+                    n_blocks=-(-starts.size // THREADS_PER_BLOCK),
+                    ops_per_thread=2 * OPS_PER_LB_TERM,
+                    threads_per_block=THREADS_PER_BLOCK,
                 )
-                pool = min(max(4 * k, 64), starts.size)
-                seed_starts = starts[np.argpartition(bound, pool - 1)[:pool]]
-            seed_distances = self.backend.dtw_verification(
-                query, segments[seed_starts], cfg.rho
-            )
-            tau = float(np.partition(seed_distances, k - 1)[k - 1])
+                # Tier 1: the precomputed window/group envelope bound.
+                keep = bound[keep] <= gate
+                pruned_window = int(survivors.size - keep.sum())
+                survivors = survivors[keep]
+                # Tier 2: LB_Improved on what's left (two batched passes;
+                # pass-1 terms double as the early-abandon tails below).
+                lbi, lbi_terms = lb_improved_profile(
+                    query,
+                    segments[survivors],
+                    cfg.rho,
+                    query_envelope=self._query_envelope(d),
+                    return_terms=True,
+                )
+                self.backend.launch(
+                    "search_lb_improved",
+                    n_blocks=-(-max(survivors.size, 1) // THREADS_PER_BLOCK),
+                    ops_per_thread=3 * d * OPS_PER_LB_TERM,
+                    threads_per_block=THREADS_PER_BLOCK,
+                )
+                keep = lbi <= gate
+                pruned_improved = int(survivors.size - keep.sum())
+                unfiltered = survivors[keep]
+                unfiltered_terms = lbi_terms[keep]
+            else:
+                unfiltered = starts[bound <= gate]
+                unfiltered_terms = None
 
-            # --- filtering ---------------------------------------------------
-            unfiltered = starts[bound <= tau + 1e-12]
-            # Seeds are already verified; drop them from the batch.
-            to_verify = np.setdiff1d(
-                unfiltered, seed_starts, assume_unique=False
-            )
+            # Seeds are already verified; drop them from the batch (the
+            # mask keeps the LB tails aligned with the surviving rows).
+            novel = ~np.isin(unfiltered, seed_starts)
+            to_verify = unfiltered[novel]
 
-            # --- verification ------------------------------------------------
-            distances = self.backend.dtw_verification(
-                query, segments[to_verify], cfg.rho
-            )
-            all_starts = np.concatenate([seed_starts, to_verify])
-            all_distances = np.concatenate([seed_distances, distances])
+            # --- verification (tier 3: early-abandoning DTW) -----------------
+            if cfg.cascade:
+                distances = self.backend.dtw_verification(
+                    query,
+                    segments[to_verify],
+                    cfg.rho,
+                    cutoff=tau,
+                    lb_terms=(
+                        unfiltered_terms[novel]
+                        if unfiltered_terms is not None
+                        else None
+                    ),
+                )
+            else:
+                distances = self.backend.dtw_verification(
+                    query, segments[to_verify], cfg.rho
+                )
+            abandoned_early = int(np.count_nonzero(~np.isfinite(distances)))
             if sp is not None:
                 sp.attrs["item_length"] = d
-                sp.attrs["verified"] = int(all_starts.size)
+                sp.attrs["verified"] = int(
+                    seed_starts.size + to_verify.size
+                )
+        # Snapshot the ledger at the span boundary: everything after this
+        # point is selection work, not verification work.
+        after_verify = self.backend.elapsed_s
 
         # --- selection -------------------------------------------------------
+        # Abandoned candidates (true distance > tau >= d_k) can never be
+        # answers; drop their inf markers before selection.  Order the
+        # verified pool by start so k-selection's stable tie-breaking
+        # resolves equal distances by smallest start — exactly how the
+        # reference full scan breaks ties.
+        all_starts = np.concatenate([seed_starts, to_verify])
+        all_distances = np.concatenate([seed_distances, distances])
+        finite = np.isfinite(all_distances)
+        all_starts = all_starts[finite]
+        all_distances = all_distances[finite]
+        order = np.argsort(all_starts, kind="stable")
+        all_starts = all_starts[order]
+        all_distances = all_distances[order]
         with obs.span("k_select", self.backend):
             top = self.backend.k_select(all_distances, k)
+        after_select = self.backend.elapsed_s
         answer_starts = all_starts[top]
         answer_distances = all_distances[top]
         self._previous_knn[d] = answer_starts.copy()
-        obs.observe_search(d, int(starts.size), int(unfiltered.size))
+        obs.observe_search(
+            d,
+            int(starts.size),
+            int(unfiltered.size),
+            candidates_verified=int(seed_starts.size + to_verify.size),
+            pruned_kim=pruned_kim,
+            pruned_window=pruned_window,
+            pruned_improved=pruned_improved,
+            abandoned_early=abandoned_early,
+        )
 
         return SuffixKnnAnswer(
             item_length=d,
@@ -238,5 +395,11 @@ class SuffixKnnEngine:
             distances=answer_distances,
             candidates_total=int(starts.size),
             candidates_unfiltered=int(unfiltered.size),
-            verification_sim_s=self.backend.elapsed_s - before,
+            candidates_verified=int(seed_starts.size + to_verify.size),
+            pruned_kim=pruned_kim,
+            pruned_window=pruned_window,
+            pruned_improved=pruned_improved,
+            abandoned_early=abandoned_early,
+            verification_sim_s=after_verify - before,
+            selection_sim_s=after_select - after_verify,
         )

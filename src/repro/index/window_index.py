@@ -37,7 +37,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..backend.base import ComputeBackend, as_backend
-from ..dtw.envelope import Envelope, compute_envelope, envelope_extend
+from ..dtw.envelope import (
+    Envelope,
+    compute_envelope,
+    envelope_extend,
+    envelope_shift,
+)
 from ..dtw.lower_bounds import window_pair_lb_matrices
 from ..gpu.kernels import OPS_PER_LB_TERM, THREADS_PER_BLOCK
 from ..obs.hooks import observe_window_reuse
@@ -86,6 +91,9 @@ class WindowLevelIndex:
         # Ring buffer: physical row of logical window b.
         self._slot0 = 0
         self._built = False
+        # Master-query envelope, maintained incrementally across steps
+        # (set by build(), slid by step()).
+        self._master_env: Envelope | None = None
 
         # Reuse counters (Remark 1 bookkeeping, asserted in tests).
         self.rows_built_full = 0
@@ -126,8 +134,16 @@ class WindowLevelIndex:
     def _master_env_slices(
         self, master_query: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Sliding-window slices of values and the master-query envelope."""
-        env = compute_envelope(master_query, self.rho)
+        """Sliding-window slices of values and the master-query envelope.
+
+        The envelope is the cached ``_master_env`` — build() computes it
+        once and step() slides it in O(rho) — every caller keeps the
+        cache in sync with the ``master_query`` it passes.
+        """
+        env = self._master_env
+        if env is None:
+            env = compute_envelope(master_query, self.rho)
+            self._master_env = env
         d = master_query.size
         idx = np.stack(
             [np.arange(d - b - self.omega, d - b) for b in range(self.n_sw)]
@@ -152,6 +168,7 @@ class WindowLevelIndex:
         """
         master_query = self._check_master(master_query)
         self._master_query = master_query.copy()
+        self._master_env = compute_envelope(master_query, self.rho)
         self.n_dw = self._series_len // self.omega
         sw_vals, sw_up, sw_lo = self._master_env_slices(master_query)
         dw_vals, dw_up, dw_lo = self._dw_slices(0, self.n_dw)
@@ -197,6 +214,10 @@ class WindowLevelIndex:
         new_master = np.concatenate(
             [self._master_query[1:], [float(new_point)]]
         )
+        # Slide the master envelope with the query: only the first rho
+        # and last rho+1 positions change, the interior is reused.
+        assert self._master_env is not None
+        self._master_env = envelope_shift(new_master, self._master_env)
         self._master_query = new_master
 
         # Ring relabel: old SW_b becomes SW_{b+1}; new SW_0 takes the slot

@@ -205,11 +205,28 @@ def observe_gpu_memory(allocated_bytes: int) -> None:
 
 # ------------------------------------------------------------------ search
 def observe_search(
-    item_length: int, candidates_total: int, candidates_unfiltered: int
+    item_length: int,
+    candidates_total: int,
+    candidates_unfiltered: int,
+    candidates_verified: int | None = None,
+    pruned_kim: int = 0,
+    pruned_window: int = 0,
+    pruned_improved: int = 0,
+    abandoned_early: int = 0,
 ) -> None:
-    """Record one Suffix kNN search's pruning effectiveness."""
+    """Record one Suffix kNN search's pruning effectiveness.
+
+    ``candidates_verified`` is the number of candidates whose true DTW
+    was computed — it can exceed ``candidates_unfiltered`` because
+    threshold seeds are verified even when their bound is above ``tau``.
+    When omitted it defaults to ``candidates_unfiltered`` (the old,
+    seed-blind accounting).  The ``pruned_*``/``abandoned_early`` counts
+    attribute kills to individual cascade tiers.
+    """
     if not _enabled:
         return
+    if candidates_verified is None:
+        candidates_verified = candidates_unfiltered
     _registry.counter(
         "smiler_search_queries_total",
         "Suffix kNN item-query searches executed.",
@@ -222,16 +239,34 @@ def observe_search(
     ).inc(candidates_total, item_length=item_length)
     _registry.counter(
         "smiler_search_candidates_pruned_total",
-        "Candidates pruned by the LB_en filter, by item length.",
+        "Candidates pruned by the lower-bound cascade, by item length.",
         label_names=("item_length",),
     ).inc(
         candidates_total - candidates_unfiltered, item_length=item_length
     )
     _registry.counter(
         "smiler_search_candidates_verified_total",
-        "Candidates that reached DTW verification, by item length.",
+        "Candidates whose true DTW was computed (seeds included), by "
+        "item length.",
         label_names=("item_length",),
-    ).inc(candidates_unfiltered, item_length=item_length)
+    ).inc(candidates_verified, item_length=item_length)
+    tier_counts = (
+        ("kim", pruned_kim),
+        ("window", pruned_window),
+        ("improved", pruned_improved),
+        ("abandoned", abandoned_early),
+    )
+    if any(count for _, count in tier_counts):
+        tier_counter = _registry.counter(
+            "smiler_search_pruned_tier_total",
+            "Candidates killed per cascade tier: kim (LB_Kim), window "
+            "(LB_w), improved (LB_Improved), abandoned (early-abandoned "
+            "mid-DTW).",
+            label_names=("item_length", "tier"),
+        )
+        for tier, count in tier_counts:
+            if count:
+                tier_counter.inc(count, item_length=item_length, tier=tier)
 
 
 def observe_window_reuse(
