@@ -1,0 +1,455 @@
+"""Benchmark regression gate: fresh smoke runs vs committed baselines.
+
+CI regenerates CI-sized ("smoke") runs of every benchmark —
+``bench_search.py --smoke``, ``bench_serving.py --smoke`` and
+``python -m repro.cli ablate --smoke`` — into a scratch directory and
+this gate compares them against the committed baselines under
+``benchmarks/baselines/``, failing the build on a regression larger
+than the threshold (``--threshold-pct``, default 10%).
+
+What is enforced and what is skipped is **host-aware**, mirroring the
+benchmarks themselves:
+
+* **Hard invariants** (any threshold): exactness flags —
+  ``modes_identical`` / ``reference_exact`` on the search bench,
+  ``identical_to_sequential`` on every serving row, run-ID agreement on
+  the ablation study (an ID drift means the workload config changed
+  without regenerating the baseline).
+* **Deterministic metrics** (always enforced): simulated kernel
+  seconds, prune/verified rates, MAE.  These are pure functions of the
+  seeded workload, independent of the host, which is why smoke-sized
+  baselines can be committed at all.
+* **Wall-clock metrics** (conditionally enforced): throughput and
+  latency comparisons are skipped unless the *fresh* host has spare
+  cores (``cpu_count > 1``) and the row says ``wall_speedup_meaningful``
+  — a single-core CI runner cannot regress a wall number meaningfully.
+
+Usage::
+
+    python benchmarks/gate.py --fresh-dir /tmp/fresh [--threshold-pct 10]
+    python benchmarks/gate.py --update          # regenerate the baselines
+
+Exit codes: 0 = gate green, 1 = regression (or missing fresh file),
+2 = usage / malformed payload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+from dataclasses import dataclass
+
+__all__ = [
+    "Check",
+    "GateError",
+    "compare_payloads",
+    "compare_search",
+    "compare_serving",
+    "compare_ablation",
+    "gate_directories",
+    "render_checks",
+]
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_DIR = pathlib.Path(__file__).resolve().parent / "baselines"
+
+#: The benchmark files the gate covers, and the command that
+#: regenerates each one's smoke baseline (run from the repo root).
+BASELINE_FILES: dict[str, tuple[str, ...]] = {
+    "BENCH_search.json": (
+        "benchmarks/bench_search.py", "--smoke", "--out", "{out}",
+    ),
+    "BENCH_serving.json": (
+        "benchmarks/bench_serving.py", "--smoke", "--out", "{out}",
+    ),
+    "BENCH_ablation.json": (
+        "-m", "repro.cli", "ablate", "--smoke", "--out", "{out}",
+    ),
+}
+
+
+class GateError(ValueError):
+    """A payload the gate cannot interpret (wrong schema, bad pairing)."""
+
+
+@dataclass(frozen=True)
+class Check:
+    """One gate comparison: a named metric and its verdict."""
+
+    name: str
+    status: str  # "pass" | "fail" | "skip"
+    detail: str
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "fail"
+
+
+def _get(payload: dict, dotted: str) -> object:
+    node: object = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise GateError(f"payload is missing {dotted!r} (at {part!r})")
+        node = node[part]
+    return node
+
+
+def _check_invariant(payload: dict, dotted: str, label: str) -> Check:
+    value = _get(payload, dotted)
+    if value is True:
+        return Check(label, "pass", "holds")
+    return Check(label, "fail", f"{dotted} is {value!r}, expected True")
+
+
+def _check_metric(
+    label: str,
+    baseline: float,
+    fresh: float,
+    threshold_pct: float,
+    higher_is_worse: bool,
+) -> Check:
+    """Relative regression check with a near-zero-baseline guard."""
+    base = float(baseline)
+    cur = float(fresh)
+    denom = max(abs(base), 1e-12)
+    delta_pct = (cur - base) / denom * 100.0
+    regression_pct = delta_pct if higher_is_worse else -delta_pct
+    detail = f"baseline {base:.6g} -> fresh {cur:.6g} ({delta_pct:+.1f}%)"
+    if regression_pct > threshold_pct:
+        return Check(
+            label, "fail",
+            f"{detail} exceeds the {threshold_pct:g}% regression threshold",
+        )
+    return Check(label, "pass", detail)
+
+
+def _wall_meaningful(fresh_payload: dict, *rows: dict) -> bool:
+    """Whether wall-clock comparisons mean anything on the fresh host."""
+    cpu_count = fresh_payload.get("host", {}).get("cpu_count")
+    if not isinstance(cpu_count, int) or cpu_count <= 1:
+        return False
+    return all(row.get("wall_speedup_meaningful", False) for row in rows)
+
+
+def _skip_wall(label: str) -> Check:
+    return Check(
+        label, "skip",
+        "wall-clock not meaningful on this host (cpu_count<=1 or "
+        "wall_speedup_meaningful false)",
+    )
+
+
+def _require_benchmark(payload: dict, kind: str, role: str) -> None:
+    got = payload.get("benchmark")
+    if got != kind:
+        raise GateError(
+            f"{role} payload is benchmark {got!r}, expected {kind!r}"
+        )
+
+
+# ------------------------------------------------------------------ search
+def compare_search(
+    baseline: dict, fresh: dict, threshold_pct: float
+) -> list[Check]:
+    """Gate the search-cascade bench: exactness + sim time + prune rates."""
+    _require_benchmark(baseline, "search", "baseline")
+    _require_benchmark(fresh, "search", "fresh")
+    checks = [
+        _check_invariant(
+            fresh, "results.modes_identical", "search.modes_identical"
+        ),
+        _check_invariant(
+            fresh, "results.reference_exact", "search.reference_exact"
+        ),
+    ]
+    for mode in ("baseline", "cascade"):
+        checks.append(_check_metric(
+            f"search.{mode}.sim_s",
+            _get(baseline, f"results.{mode}.sim_s"),
+            _get(fresh, f"results.{mode}.sim_s"),
+            threshold_pct, higher_is_worse=True,
+        ))
+        checks.append(_check_metric(
+            f"search.{mode}.verified_rate",
+            _get(baseline, f"results.{mode}.verified_rate"),
+            _get(fresh, f"results.{mode}.verified_rate"),
+            threshold_pct, higher_is_worse=True,
+        ))
+    base_rates = _get(baseline, "results.cascade.prune_rates")
+    fresh_rates = _get(fresh, "results.cascade.prune_rates")
+    if not isinstance(base_rates, dict) or not isinstance(fresh_rates, dict):
+        raise GateError("cascade.prune_rates must be a dict in both payloads")
+    # The total pruned fraction is the cascade's purpose; individual
+    # tiers may legitimately trade candidates between each other.
+    checks.append(_check_metric(
+        "search.cascade.prune_rate_total",
+        sum(base_rates.values()),
+        sum(fresh_rates.values()),
+        threshold_pct, higher_is_worse=False,
+    ))
+    label = "search.speedup_candidates_per_s"
+    if _wall_meaningful(fresh):
+        checks.append(_check_metric(
+            label,
+            _get(baseline, "results.speedup_candidates_per_s"),
+            _get(fresh, "results.speedup_candidates_per_s"),
+            threshold_pct, higher_is_worse=False,
+        ))
+    else:
+        checks.append(_skip_wall(label))
+    return checks
+
+
+# ----------------------------------------------------------------- serving
+def compare_serving(
+    baseline: dict, fresh: dict, threshold_pct: float
+) -> list[Check]:
+    """Gate the serving bench: parity + sim speedup per worker row."""
+    _require_benchmark(baseline, "serving", "baseline")
+    _require_benchmark(fresh, "serving", "fresh")
+    base_rows = {
+        (row["workers"], row.get("engine")): row
+        for row in _get(baseline, "results")  # type: ignore[union-attr]
+    }
+    checks: list[Check] = []
+    fresh_rows = _get(fresh, "results")
+    if not isinstance(fresh_rows, list) or not fresh_rows:
+        raise GateError("serving results must be a non-empty list")
+    for row in fresh_rows:
+        key = (row["workers"], row.get("engine"))
+        tag = f"serving.w{row['workers']}.{row.get('engine') or 'auto'}"
+        base_row = base_rows.get(key)
+        if base_row is None:
+            checks.append(Check(
+                tag, "fail",
+                f"no baseline row for workers={key[0]} engine={key[1]!r} "
+                "(regenerate the baseline?)",
+            ))
+            continue
+        checks.append(
+            _check_invariant(
+                {"row": row}, "row.identical_to_sequential",
+                f"{tag}.identical_to_sequential",
+            )
+        )
+        checks.append(_check_metric(
+            f"{tag}.sim_serial_s",
+            base_row["sim_serial_s"], row["sim_serial_s"],
+            threshold_pct, higher_is_worse=True,
+        ))
+        checks.append(_check_metric(
+            f"{tag}.sim_parallel_speedup",
+            base_row["sim_parallel_speedup"], row["sim_parallel_speedup"],
+            threshold_pct, higher_is_worse=False,
+        ))
+        label = f"{tag}.throughput_forecasts_per_s"
+        if _wall_meaningful(fresh, row, base_row):
+            checks.append(_check_metric(
+                label,
+                base_row["throughput_forecasts_per_s"],
+                row["throughput_forecasts_per_s"],
+                threshold_pct, higher_is_worse=False,
+            ))
+        else:
+            checks.append(_skip_wall(label))
+    return checks
+
+
+# ---------------------------------------------------------------- ablation
+def compare_ablation(
+    baseline: dict, fresh: dict, threshold_pct: float
+) -> list[Check]:
+    """Gate the ablation study: run-ID agreement + baseline-run metrics.
+
+    Component-off deltas are the study's *findings*, not its health —
+    they move legitimately as components evolve.  What the gate pins is
+    the everything-on baseline run (accuracy, simulated time, cascade
+    efficiency) and that the enumerated run-ID set still matches the
+    committed one: a drifted ID means the workload or a patch changed
+    without the baseline being regenerated, which would silently
+    invalidate every cross-PR diff of ``BENCH_ablation.json``.
+    """
+    _require_benchmark(baseline, "ablation", "baseline")
+    _require_benchmark(fresh, "ablation", "fresh")
+    checks: list[Check] = []
+    base_ids = {r["run_id"] for r in _get(baseline, "runs")}  # type: ignore[union-attr]
+    fresh_ids = {r["run_id"] for r in _get(fresh, "runs")}  # type: ignore[union-attr]
+    if base_ids == fresh_ids:
+        checks.append(Check(
+            "ablation.run_ids", "pass", f"{len(base_ids)} stable run IDs"
+        ))
+    else:
+        drifted = sorted(base_ids ^ fresh_ids)
+        checks.append(Check(
+            "ablation.run_ids", "fail",
+            f"run-ID drift ({len(drifted)} IDs differ: "
+            f"{', '.join(drifted[:4])}...) — workload/patch changed; "
+            "regenerate benchmarks/baselines/BENCH_ablation.json",
+        ))
+    base_run = _baseline_run(baseline)
+    fresh_run = _baseline_run(fresh)
+    checks.append(_check_metric(
+        "ablation.baseline.mae",
+        base_run["serving"]["mae"], fresh_run["serving"]["mae"],
+        threshold_pct, higher_is_worse=True,
+    ))
+    checks.append(_check_metric(
+        "ablation.baseline.serving_sim_s",
+        base_run["serving"]["sim_s"], fresh_run["serving"]["sim_s"],
+        threshold_pct, higher_is_worse=True,
+    ))
+    if base_run.get("search") and fresh_run.get("search"):
+        checks.append(_check_metric(
+            "ablation.baseline.search_sim_s",
+            base_run["search"]["sim_s"], fresh_run["search"]["sim_s"],
+            threshold_pct, higher_is_worse=True,
+        ))
+        checks.append(_check_metric(
+            "ablation.baseline.verified_rate",
+            base_run["search"]["verified_rate"],
+            fresh_run["search"]["verified_rate"],
+            threshold_pct, higher_is_worse=True,
+        ))
+        checks.append(_check_invariant(
+            {"search": fresh_run["search"]},
+            "search.reference_exact",
+            "ablation.baseline.reference_exact",
+        ))
+    label = "ablation.baseline.wall_s"
+    if _wall_meaningful(fresh):
+        checks.append(_check_metric(
+            label,
+            base_run["serving"]["wall_s"], fresh_run["serving"]["wall_s"],
+            threshold_pct, higher_is_worse=True,
+        ))
+    else:
+        checks.append(_skip_wall(label))
+    return checks
+
+
+def _baseline_run(payload: dict) -> dict:
+    baseline_id = _get(payload, "baseline_run_id")
+    for run in _get(payload, "runs"):  # type: ignore[union-attr]
+        if run["run_id"] == baseline_id:
+            return run
+    raise GateError(f"baseline run {baseline_id!r} missing from runs")
+
+
+# -------------------------------------------------------------- dispatcher
+_COMPARATORS = {
+    "search": compare_search,
+    "serving": compare_serving,
+    "ablation": compare_ablation,
+}
+
+
+def compare_payloads(
+    baseline: dict, fresh: dict, threshold_pct: float = 10.0
+) -> list[Check]:
+    """Dispatch on the payload's ``benchmark`` field."""
+    kind = baseline.get("benchmark")
+    comparator = _COMPARATORS.get(kind)  # type: ignore[arg-type]
+    if comparator is None:
+        raise GateError(
+            f"no comparator for benchmark {kind!r}; "
+            f"known: {sorted(_COMPARATORS)}"
+        )
+    return comparator(baseline, fresh, threshold_pct)
+
+
+def gate_directories(
+    baseline_dir: pathlib.Path,
+    fresh_dir: pathlib.Path,
+    threshold_pct: float = 10.0,
+) -> list[Check]:
+    """Compare every committed baseline against its fresh counterpart.
+
+    A baseline without a fresh file is a failing check (the CI job did
+    not produce it), not a silent skip.
+    """
+    checks: list[Check] = []
+    names = sorted(
+        p.name for p in baseline_dir.glob("BENCH_*.json")
+    )
+    if not names:
+        raise GateError(f"no BENCH_*.json baselines under {baseline_dir}")
+    for name in names:
+        fresh_path = fresh_dir / name
+        if not fresh_path.exists():
+            checks.append(Check(
+                name, "fail", f"fresh run missing: {fresh_path}"
+            ))
+            continue
+        baseline = json.loads((baseline_dir / name).read_text())
+        fresh = json.loads(fresh_path.read_text())
+        checks.extend(compare_payloads(baseline, fresh, threshold_pct))
+    return checks
+
+
+def render_checks(checks: list[Check]) -> str:
+    """Human-readable verdict table, failures last so they are visible."""
+    marks = {"pass": "ok  ", "skip": "skip", "fail": "FAIL"}
+    ordered = sorted(checks, key=lambda c: c.status == "fail")
+    lines = [
+        f"{marks[c.status]}  {c.name:<42} {c.detail}" for c in ordered
+    ]
+    n_fail = sum(c.failed for c in checks)
+    n_skip = sum(c.status == "skip" for c in checks)
+    lines.append(
+        f"gate: {len(checks)} checks, {n_fail} failed, {n_skip} skipped"
+    )
+    return "\n".join(lines)
+
+
+def update_baselines(baseline_dir: pathlib.Path) -> None:
+    """Regenerate every committed smoke baseline in place."""
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    for name, argv in BASELINE_FILES.items():
+        out = baseline_dir / name
+        cmd = [sys.executable] + [
+            part.format(out=out) for part in argv
+        ]
+        print(f"== {name}: {' '.join(cmd)}", flush=True)
+        subprocess.run(cmd, check=True, cwd=REPO_ROOT)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--baseline-dir", type=pathlib.Path, default=BASELINE_DIR,
+        help="committed baselines (default: benchmarks/baselines)",
+    )
+    parser.add_argument(
+        "--fresh-dir", type=pathlib.Path, default=None,
+        help="directory holding freshly generated smoke BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--threshold-pct", type=float, default=10.0, metavar="X",
+        help="fail on regressions larger than X%% (default: 10)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate the committed smoke baselines and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        update_baselines(args.baseline_dir)
+        return 0
+    if args.fresh_dir is None:
+        parser.error("--fresh-dir is required (or use --update)")
+    try:
+        checks = gate_directories(
+            args.baseline_dir, args.fresh_dir, args.threshold_pct
+        )
+    except GateError as exc:
+        print(f"gate error: {exc}", file=sys.stderr)
+        return 2
+    print(render_checks(checks))
+    return 1 if any(c.failed for c in checks) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Usage (installed as the ``repro`` package)::
     python -m repro.cli demo --dataset MALL --steps 20
     python -m repro.cli stats --dataset ROAD --steps 5
     python -m repro.cli trace --out trace.json --sensors 8 --workers 4
+    python -m repro.cli ablate --smoke
 
 Presets scale the synthetic workloads: ``tiny`` (seconds, CI-friendly),
 ``small`` (the benchmark defaults), ``paper`` (hours; closest to the
@@ -28,16 +29,25 @@ https://ui.perfetto.dev or ``chrome://tracing``.
 as ``flaky-kernels``, or a ``key=value`` spec — see
 ``docs/robustness.md``) to run the loop under deterministic fault
 injection and watch the degradation ladder serve through it.
+
+``ablate`` runs the system-wide ablation study (``repro.ablation``):
+baseline plus one-component-off runs with stable deterministic run IDs,
+a ranked importance report, and ``BENCH_ablation.json``.  Every run is
+exactness-checked against the full-DTW oracle and, for components that
+declare themselves pure optimisations, bit-exact forecast parity with
+the baseline.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
+import os
 import pathlib
 import sys
 
-from . import harness, obs
+from . import ablation, harness, obs
 from .backend import BACKEND_NAMES, make_backend
 from .exec import ENGINE_NAMES
 from .faults import FAULT_PROFILE_NAMES
@@ -240,6 +250,40 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--metrics-out", type=pathlib.Path, default=None, metavar="PATH",
         help="also dump a JSON metrics snapshot here",
+    )
+
+    ablate = sub.add_parser(
+        "ablate",
+        help="system-wide ablation study: ranked component importance "
+        "+ BENCH_ablation.json",
+    )
+    ablate.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized workload (seconds per run; exactness checks and "
+        "run-ID stability are identical to the full workload)",
+    )
+    ablate.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("BENCH_ablation.json"),
+        metavar="PATH",
+        help="where to write the JSON payload (default: BENCH_ablation.json)",
+    )
+    ablate.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="override the workload's baseline compute backend "
+        "(default: simulated)",
+    )
+    ablate.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="override the workload seed (changes every run ID)",
+    )
+    ablate.add_argument(
+        "--reuse", type=pathlib.Path, default=None, metavar="PATH",
+        help="an earlier BENCH_ablation.json; runs whose stable ID "
+        "appears there are not re-executed (the baseline always is)",
+    )
+    ablate.add_argument(
+        "--list-components", action="store_true",
+        help="print the validated component registry and exit",
     )
     return parser
 
@@ -450,6 +494,60 @@ def _run_trace(
     return "\n".join(lines)
 
 
+def _list_components() -> str:
+    from .harness.reporting import render_table
+
+    rows = [
+        [
+            component.name,
+            component.layer,
+            "yes" if component.claims_exact else "no",
+            ", ".join(f"{k}={v!r}" for k, v in component.patch),
+        ]
+        for component in ablation.default_registry()
+    ]
+    return render_table(
+        ["component", "layer", "exact", "patch"],
+        rows,
+        title="Ablatable components (patch = the knobs the off-run flips)",
+    )
+
+
+def _run_ablate(
+    smoke: bool,
+    out: pathlib.Path,
+    backend: str | None = None,
+    seed: int | None = None,
+    reuse_path: pathlib.Path | None = None,
+) -> str:
+    """Run the study, print the ranked report, write the JSON payload."""
+    workload = ablation.SMOKE_WORKLOAD if smoke else ablation.AblationWorkload()
+    overrides: dict[str, object] = {}
+    if backend is not None:
+        overrides["backend"] = backend
+    if seed is not None:
+        overrides["seed"] = seed
+    if overrides:
+        workload = dataclasses.replace(workload, **overrides)
+    reuse = None
+    if reuse_path is not None:
+        stored = json.loads(reuse_path.read_text())
+        reuse = {
+            row["run_id"]: row
+            for row in stored.get("runs", [])
+            if row.get("component") is not None
+        }
+    study = ablation.run_study(
+        workload, reuse=reuse, progress=lambda line: print(line, flush=True)
+    )
+    payload = ablation.bench_payload(study, smoke=smoke, cpu_count=os.cpu_count())
+    if out.parent != pathlib.Path(""):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    report = ablation.render_report(study)
+    return f"{report}\nwrote {out}"
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -497,6 +595,14 @@ def main(argv: list[str] | None = None) -> int:
             args.out, args.dataset, args.sensors, args.backends,
             args.workers, args.steps, args.predictor, args.backend,
             args.fault_profile, args.metrics_out, args.engine,
+        ))
+        return 0
+    if args.command == "ablate":
+        if args.list_components:
+            print(_list_components())
+            return 0
+        print(_run_ablate(
+            args.smoke, args.out, args.backend, args.seed, args.reuse,
         ))
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -22,6 +22,7 @@ from .profile import (
     FAULT_PROFILE_NAMES,
     FaultProfile,
     as_fault_profile,
+    format_fault_profile,
     parse_fault_profile,
 )
 
@@ -34,5 +35,6 @@ __all__ = [
     "FaultProfile",
     "KernelFaultError",
     "as_fault_profile",
+    "format_fault_profile",
     "parse_fault_profile",
 ]

@@ -82,6 +82,21 @@ class SuffixSearchConfig:
     #: kept as the measurable pre-cascade baseline for
     #: ``benchmarks/bench_search.py``.
     cascade: bool = True
+    #: Per-tier switches within the cascade, for ablation studies
+    #: (``repro.ablation``).  Every tier is independently admissible, so
+    #: disabling any subset keeps the search exact — just slower.
+    #: ``lb_kim`` gates tier 0, ``lb_improved`` gates tier 2 and
+    #: ``early_abandon`` gates the mid-DP abandoning of tier 3 (the LB_w
+    #: tier is the index itself and cannot be disabled).  All ignored
+    #: when ``cascade`` is ``False``.
+    lb_kim: bool = True
+    lb_improved: bool = True
+    early_abandon: bool = True
+    #: Reuse the per-item query envelopes across continuous steps by
+    #: sliding them in O(rho) (``False`` recomputes each envelope from
+    #: scratch on every search — same values, more work; the measurable
+    #: envelope-reuse ablation baseline).
+    reuse_envelopes: bool = True
 
     def __post_init__(self) -> None:
         if self.k_max <= 0:
@@ -185,6 +200,8 @@ class SuffixKnnEngine:
 
     def _query_envelope(self, d: int) -> Envelope:
         """Envelope of ``IQ_d``, reused across continuous steps."""
+        if not self.config.reuse_envelopes:
+            return compute_envelope(self.item_query(d), self.config.rho)
         env = self._query_envs.get(d)
         if env is None:
             env = compute_envelope(self.item_query(d), self.config.rho)
@@ -288,40 +305,51 @@ class SuffixKnnEngine:
 
             # --- filtering cascade -------------------------------------------
             if cfg.cascade:
-                # Tier 0: LB_Kim — two series touches per candidate.
-                kim = lb_kim_profile(query, series, starts)
-                keep = kim <= gate
-                survivors = starts[keep]
-                pruned_kim = int(starts.size - survivors.size)
-                self.backend.launch(
-                    "search_lb_kim",
-                    n_blocks=-(-starts.size // THREADS_PER_BLOCK),
-                    ops_per_thread=2 * OPS_PER_LB_TERM,
-                    threads_per_block=THREADS_PER_BLOCK,
-                )
+                survivors = starts
+                surviving_bound = bound
+                if cfg.lb_kim:
+                    # Tier 0: LB_Kim — two series touches per candidate.
+                    kim = lb_kim_profile(query, series, starts)
+                    keep = kim <= gate
+                    survivors = starts[keep]
+                    surviving_bound = bound[keep]
+                    pruned_kim = int(starts.size - survivors.size)
+                    self.backend.launch(
+                        "search_lb_kim",
+                        n_blocks=-(-starts.size // THREADS_PER_BLOCK),
+                        ops_per_thread=2 * OPS_PER_LB_TERM,
+                        threads_per_block=THREADS_PER_BLOCK,
+                    )
                 # Tier 1: the precomputed window/group envelope bound.
-                keep = bound[keep] <= gate
+                keep = surviving_bound <= gate
                 pruned_window = int(survivors.size - keep.sum())
                 survivors = survivors[keep]
-                # Tier 2: LB_Improved on what's left (two batched passes;
-                # pass-1 terms double as the early-abandon tails below).
-                lbi, lbi_terms = lb_improved_profile(
-                    query,
-                    segments[survivors],
-                    cfg.rho,
-                    query_envelope=self._query_envelope(d),
-                    return_terms=True,
-                )
-                self.backend.launch(
-                    "search_lb_improved",
-                    n_blocks=-(-max(survivors.size, 1) // THREADS_PER_BLOCK),
-                    ops_per_thread=3 * d * OPS_PER_LB_TERM,
-                    threads_per_block=THREADS_PER_BLOCK,
-                )
-                keep = lbi <= gate
-                pruned_improved = int(survivors.size - keep.sum())
-                unfiltered = survivors[keep]
-                unfiltered_terms = lbi_terms[keep]
+                if cfg.lb_improved:
+                    # Tier 2: LB_Improved on what's left (two batched
+                    # passes; pass-1 terms double as the early-abandon
+                    # tails below).
+                    lbi, lbi_terms = lb_improved_profile(
+                        query,
+                        segments[survivors],
+                        cfg.rho,
+                        query_envelope=self._query_envelope(d),
+                        return_terms=True,
+                    )
+                    self.backend.launch(
+                        "search_lb_improved",
+                        n_blocks=-(
+                            -max(survivors.size, 1) // THREADS_PER_BLOCK
+                        ),
+                        ops_per_thread=3 * d * OPS_PER_LB_TERM,
+                        threads_per_block=THREADS_PER_BLOCK,
+                    )
+                    keep = lbi <= gate
+                    pruned_improved = int(survivors.size - keep.sum())
+                    unfiltered = survivors[keep]
+                    unfiltered_terms = lbi_terms[keep]
+                else:
+                    unfiltered = survivors
+                    unfiltered_terms = None
             else:
                 unfiltered = starts[bound <= gate]
                 unfiltered_terms = None
@@ -332,7 +360,7 @@ class SuffixKnnEngine:
             to_verify = unfiltered[novel]
 
             # --- verification (tier 3: early-abandoning DTW) -----------------
-            if cfg.cascade:
+            if cfg.cascade and cfg.early_abandon:
                 distances = self.backend.dtw_verification(
                     query,
                     segments[to_verify],

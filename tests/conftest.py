@@ -1,5 +1,25 @@
-"""Shared test configuration."""
+"""Shared test configuration.
 
+Marker policy
+-------------
+Two speed tiers, declared in ``pyproject.toml``:
+
+* ``slow`` — long-running integration tests: offline GP baselines,
+  benchmark-scale experiment drivers, end-to-end ablation studies.
+  Applied explicitly (``@pytest.mark.slow`` on a test, class, or via
+  ``pytestmark`` on a module).
+* ``fast`` — everything else.  Applied automatically by the collection
+  hook below, so ``-m fast`` and ``-m "not slow"`` select the same set
+  and no test is ever tier-less.
+
+CI runs the fast tier on every push for quick signal
+(``pytest -m "not slow"`` in the tier-1 matrix); pull requests
+additionally run the slow tier, and the full-suite jobs (exec-matrix,
+chaos) always run everything.  Locally, ``pytest -m fast`` is the quick
+pre-commit loop; plain ``pytest`` runs both tiers.
+"""
+
+import pytest
 from hypothesis import HealthCheck, settings
 
 # Property tests exercise numerical kernels whose first call can be slow
@@ -10,3 +30,9 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if "slow" not in item.keywords:
+            item.add_marker(pytest.mark.fast)

@@ -1,0 +1,315 @@
+"""The benchmark regression gate, driven entirely by fixture payloads.
+
+No benchmark actually runs here: every test builds the JSON documents
+the benches emit (smoke-shaped) and feeds them to ``benchmarks/gate.py``
+directly, so the pass/fail/skip semantics — thresholds, host-awareness,
+hard invariants — are pinned without benchmark-scale runtimes.
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_GATE_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "gate.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_gate", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+sys.modules["bench_gate"] = gate  # @dataclass resolves the module by name
+_spec.loader.exec_module(gate)
+
+
+def search_payload(cpu_count=1):
+    return {
+        "benchmark": "search",
+        "config": {"points": 4000, "steps": 4, "smoke": True},
+        "host": {"cpu_count": cpu_count},
+        "results": {
+            "baseline": {
+                "wall_s": 0.3, "sim_s": 1.6e-3, "candidates_total": 47262,
+                "candidates_per_s": 160000.0, "unfiltered_rate": 0.13,
+                "verified_rate": 0.13,
+            },
+            "cascade": {
+                "wall_s": 0.29, "sim_s": 1.5e-3, "candidates_total": 47262,
+                "candidates_per_s": 165000.0, "unfiltered_rate": 0.008,
+                "verified_rate": 0.008,
+                "prune_rates": {
+                    "kim": 0.957, "window": 0.025,
+                    "improved": 0.010, "abandoned": 0.002,
+                },
+            },
+            "speedup_candidates_per_s": 1.03,
+            "modes_identical": True,
+            "reference_exact": True,
+        },
+    }
+
+
+def serving_payload(cpu_count=1, meaningful=False):
+    def row(workers, engine):
+        return {
+            "workers": workers, "engine": engine,
+            "p50_batch_s": 1.4e-3, "p99_batch_s": 1.6e-3,
+            "throughput_forecasts_per_s": 350.0, "wall_total_s": 0.05,
+            "sim_serial_s": 1.05e-3, "sim_parallel_s": 2.6e-4,
+            "sim_parallel_speedup": 4.0,
+            "identical_to_sequential": True,
+            "wall_speedup_vs_sequential": 1.0,
+            "wall_speedup_meaningful": meaningful,
+        }
+
+    return {
+        "benchmark": "serving",
+        "config": {"sensors": 8, "backends": 4},
+        "host": {"cpu_count": cpu_count},
+        "results": [row(1, "inline"), row(4, "thread")],
+    }
+
+
+def ablation_payload(cpu_count=1):
+    def run(rid, component, search):
+        return {
+            "run_id": rid, "component": component,
+            "layer": None if component is None else "search",
+            "claims_exact": True, "reused": False,
+            "search": search,
+            "serving": {
+                "backend": "simulated", "wall_s": 0.1,
+                "p50_batch_s": 0.015, "sim_s": 1.8e-3,
+                "sim_parallel_s": 9e-4, "mae": 0.093,
+                "degraded_forecasts": 0, "forecast_digest": "abc",
+            },
+        }
+
+    base_search = {
+        "wall_s": 0.3, "sim_s": 1.3e-3, "candidates_total": 20000,
+        "verified_rate": 0.039, "unfiltered_rate": 0.039,
+        "prune_rates": {"kim": 0.9, "window": 0.03, "improved": 0.02,
+                        "abandoned": 0.005},
+        "reference_exact": True,
+    }
+    return {
+        "benchmark": "ablation",
+        "config": {"workload": {"seed": 2015}, "smoke": True},
+        "host": {"cpu_count": cpu_count,
+                 "wall_speedup_meaningful": cpu_count > 1},
+        "baseline_run_id": "abl-base",
+        "runs": [
+            run("abl-base", None, base_search),
+            run("abl-casc", "cascade", dict(base_search, sim_s=1.5e-3)),
+        ],
+        "ranking": [],
+    }
+
+
+def failures(checks):
+    return [c.name for c in checks if c.failed]
+
+
+def by_name(checks, name):
+    return next(c for c in checks if c.name == name)
+
+
+class TestSearchGate:
+    def test_identical_payloads_pass(self):
+        p = search_payload()
+        checks = gate.compare_search(p, copy.deepcopy(p), 10.0)
+        assert not failures(checks)
+
+    def test_sim_time_regression_fails(self):
+        fresh = search_payload()
+        fresh["results"]["cascade"]["sim_s"] *= 1.25
+        checks = gate.compare_search(search_payload(), fresh, 10.0)
+        assert failures(checks) == ["search.cascade.sim_s"]
+        # A generous threshold tolerates the same delta.
+        assert not failures(
+            gate.compare_search(search_payload(), fresh, 30.0)
+        )
+
+    def test_prune_rate_collapse_fails(self):
+        fresh = search_payload()
+        fresh["results"]["cascade"]["prune_rates"]["kim"] = 0.4
+        checks = gate.compare_search(search_payload(), fresh, 10.0)
+        assert "search.cascade.prune_rate_total" in failures(checks)
+
+    def test_improvement_never_fails(self):
+        fresh = search_payload()
+        fresh["results"]["cascade"]["sim_s"] *= 0.5  # got faster
+        assert not failures(
+            gate.compare_search(search_payload(), fresh, 10.0)
+        )
+
+    def test_lost_exactness_fails_at_any_threshold(self):
+        fresh = search_payload()
+        fresh["results"]["modes_identical"] = False
+        checks = gate.compare_search(search_payload(), fresh, 1e9)
+        assert "search.modes_identical" in failures(checks)
+
+    def test_wall_skipped_on_single_core_host(self):
+        fresh = search_payload(cpu_count=1)
+        fresh["results"]["speedup_candidates_per_s"] = 0.1  # huge wall hit
+        checks = gate.compare_search(search_payload(), fresh, 10.0)
+        assert by_name(
+            checks, "search.speedup_candidates_per_s"
+        ).status == "skip"
+        assert not failures(checks)
+
+    def test_wall_enforced_on_multicore_host(self):
+        fresh = search_payload(cpu_count=8)
+        fresh["results"]["speedup_candidates_per_s"] = 0.1
+        checks = gate.compare_search(search_payload(cpu_count=8), fresh, 10.0)
+        assert "search.speedup_candidates_per_s" in failures(checks)
+
+
+class TestServingGate:
+    def test_identical_payloads_pass(self):
+        p = serving_payload()
+        assert not failures(gate.compare_serving(p, copy.deepcopy(p), 10.0))
+
+    def test_sim_speedup_regression_fails(self):
+        fresh = serving_payload()
+        fresh["results"][1]["sim_parallel_speedup"] = 2.0  # was 4.0
+        checks = gate.compare_serving(serving_payload(), fresh, 10.0)
+        assert failures(checks) == ["serving.w4.thread.sim_parallel_speedup"]
+
+    def test_parity_loss_fails(self):
+        fresh = serving_payload()
+        fresh["results"][0]["identical_to_sequential"] = False
+        checks = gate.compare_serving(serving_payload(), fresh, 10.0)
+        assert "serving.w1.inline.identical_to_sequential" in failures(checks)
+
+    def test_unknown_row_fails(self):
+        fresh = serving_payload()
+        fresh["results"][1]["workers"] = 16  # no such baseline row
+        checks = gate.compare_serving(serving_payload(), fresh, 10.0)
+        assert "serving.w16.thread" in failures(checks)
+
+    def test_wall_skipped_unless_row_says_meaningful(self):
+        fresh = serving_payload(cpu_count=8, meaningful=False)
+        fresh["results"][0]["throughput_forecasts_per_s"] = 10.0
+        checks = gate.compare_serving(
+            serving_payload(cpu_count=8, meaningful=False), fresh, 10.0
+        )
+        assert not failures(checks)
+        fresh = serving_payload(cpu_count=8, meaningful=True)
+        fresh["results"][0]["throughput_forecasts_per_s"] = 10.0
+        checks = gate.compare_serving(
+            serving_payload(cpu_count=8, meaningful=True), fresh, 10.0
+        )
+        assert "serving.w1.inline.throughput_forecasts_per_s" in failures(
+            checks
+        )
+
+
+class TestAblationGate:
+    def test_identical_payloads_pass(self):
+        p = ablation_payload()
+        assert not failures(gate.compare_ablation(p, copy.deepcopy(p), 10.0))
+
+    def test_run_id_drift_fails(self):
+        fresh = ablation_payload()
+        fresh["runs"][1]["run_id"] = "abl-drifted"
+        checks = gate.compare_ablation(ablation_payload(), fresh, 10.0)
+        assert "ablation.run_ids" in failures(checks)
+
+    def test_accuracy_regression_fails(self):
+        fresh = ablation_payload()
+        fresh["runs"][0]["serving"]["mae"] *= 1.5
+        checks = gate.compare_ablation(ablation_payload(), fresh, 10.0)
+        assert "ablation.baseline.mae" in failures(checks)
+
+    def test_wall_skipped_on_single_core(self):
+        fresh = ablation_payload(cpu_count=1)
+        fresh["runs"][0]["serving"]["wall_s"] = 99.0
+        checks = gate.compare_ablation(ablation_payload(), fresh, 10.0)
+        assert by_name(checks, "ablation.baseline.wall_s").status == "skip"
+        assert not failures(checks)
+
+
+class TestDispatchAndDirectories:
+    def test_unknown_benchmark_is_a_gate_error(self):
+        with pytest.raises(gate.GateError, match="no comparator"):
+            gate.compare_payloads({"benchmark": "mystery"}, {}, 10.0)
+
+    def test_mismatched_kinds_are_a_gate_error(self):
+        with pytest.raises(gate.GateError, match="expected 'search'"):
+            gate.compare_search(search_payload(), serving_payload(), 10.0)
+
+    def test_missing_field_is_a_gate_error(self):
+        broken = search_payload()
+        del broken["results"]["cascade"]["sim_s"]
+        with pytest.raises(gate.GateError, match="missing"):
+            gate.compare_search(search_payload(), broken, 10.0)
+
+    def _write_dirs(self, tmp_path, fresh_mutator=None):
+        baseline_dir = tmp_path / "baselines"
+        fresh_dir = tmp_path / "fresh"
+        baseline_dir.mkdir()
+        fresh_dir.mkdir()
+        docs = {
+            "BENCH_search.json": search_payload(),
+            "BENCH_serving.json": serving_payload(),
+            "BENCH_ablation.json": ablation_payload(),
+        }
+        for name, doc in docs.items():
+            (baseline_dir / name).write_text(json.dumps(doc))
+        if fresh_mutator is not None:
+            fresh_mutator(docs)
+        for name, doc in docs.items():
+            (fresh_dir / name).write_text(json.dumps(doc))
+        return baseline_dir, fresh_dir
+
+    def test_green_directories_exit_zero(self, tmp_path, capsys):
+        baseline_dir, fresh_dir = self._write_dirs(tmp_path)
+        checks = gate.gate_directories(baseline_dir, fresh_dir, 10.0)
+        assert not failures(checks)
+        code = gate.main([
+            "--baseline-dir", str(baseline_dir),
+            "--fresh-dir", str(fresh_dir),
+        ])
+        assert code == 0
+        assert "0 failed" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        def mutate(docs):
+            docs["BENCH_search.json"]["results"]["cascade"]["sim_s"] *= 2
+
+        baseline_dir, fresh_dir = self._write_dirs(tmp_path, mutate)
+        code = gate.main([
+            "--baseline-dir", str(baseline_dir),
+            "--fresh-dir", str(fresh_dir),
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_fresh_file_is_a_failure(self, tmp_path):
+        baseline_dir, fresh_dir = self._write_dirs(tmp_path)
+        (fresh_dir / "BENCH_serving.json").unlink()
+        checks = gate.gate_directories(baseline_dir, fresh_dir, 10.0)
+        assert "BENCH_serving.json" in failures(checks)
+
+    def test_empty_baseline_dir_exits_two(self, tmp_path, capsys):
+        (tmp_path / "baselines").mkdir()
+        (tmp_path / "fresh").mkdir()
+        code = gate.main([
+            "--baseline-dir", str(tmp_path / "baselines"),
+            "--fresh-dir", str(tmp_path / "fresh"),
+        ])
+        assert code == 2
+        assert "gate error" in capsys.readouterr().err
+
+    def test_committed_baselines_parse_and_self_compare(self):
+        """The real committed baselines must stay gate-compatible."""
+        checks = gate.gate_directories(
+            gate.BASELINE_DIR, gate.BASELINE_DIR, 10.0
+        )
+        assert not failures(checks)
+        kinds = {c.name.split(".")[0] for c in checks}
+        assert {"search", "serving", "ablation"} <= kinds

@@ -35,6 +35,7 @@ class TestExamples:
         module = load_example(name)
         assert callable(getattr(module, "main", None)), name
 
+    @pytest.mark.slow
     def test_custom_data_runs(self, capsys):
         load_example("custom_data").main()
         out = capsys.readouterr().out

@@ -1,0 +1,91 @@
+"""Fault-profile spec grammar: ``parse`` and ``format`` are inverses.
+
+The property pinned here is the round trip over the parser's entire
+image: for every profile the spec grammar can express,
+``parse_fault_profile(format_fault_profile(p)) == p`` — including
+bit-exact float rates (``repr`` round-tripping) and the ``burst``
+window.  Registered names format back to the bare name; names outside
+the grammar raise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.faults import (
+    FAULT_PROFILE_NAMES,
+    FaultProfile,
+    format_fault_profile,
+    parse_fault_profile,
+)
+
+rates = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+latencies = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+ticks = st.integers(min_value=0, max_value=2**40)
+
+#: Every profile the spec grammar can express (the parser's image):
+#: ad-hoc profiles are always named "custom".
+custom_profiles = st.builds(
+    FaultProfile,
+    name=st.just("custom"),
+    seed=st.integers(min_value=-(2**31), max_value=2**63),
+    kernel_error_rate=rates,
+    kernel_nan_rate=rates,
+    malloc_error_rate=rates,
+    added_latency_s=latencies,
+    dies_at_tick=st.none() | ticks,
+    burst=st.none() | st.tuples(
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=1, max_value=2**30),
+    ).map(lambda p: (p[0], p[0] + p[1])),
+)
+
+
+@given(custom_profiles)
+def test_round_trip_over_the_parser_image(profile):
+    assert parse_fault_profile(format_fault_profile(profile)) == profile
+
+
+@given(custom_profiles)
+def test_format_is_canonical(profile):
+    """Formatting is a normal form: format∘parse∘format is format."""
+    spec = format_fault_profile(profile)
+    assert format_fault_profile(parse_fault_profile(spec)) == spec
+
+
+@pytest.mark.parametrize("name", FAULT_PROFILE_NAMES)
+def test_registered_profiles_format_as_their_name(name):
+    profile = parse_fault_profile(name)
+    assert format_fault_profile(profile) == name
+    assert parse_fault_profile(format_fault_profile(profile)) == profile
+
+
+def test_near_named_profile_falls_back_to_spec():
+    """Equal rates but the ad-hoc name: must not format as the
+    registered name (parse would return a different ``name`` field)."""
+    flaky = parse_fault_profile("flaky-kernels")
+    twin = dataclasses.replace(flaky, name="custom")
+    spec = format_fault_profile(twin)
+    assert spec != "flaky-kernels"
+    assert parse_fault_profile(spec) == twin
+
+
+def test_default_profile_survives_despite_empty_overrides():
+    """The all-defaults profile must format to a non-empty spec (the
+    parser rejects empty strings)."""
+    profile = FaultProfile()
+    spec = format_fault_profile(profile)
+    assert spec
+    assert parse_fault_profile(spec) == profile
+
+
+def test_unrepresentable_name_raises():
+    with pytest.raises(ValueError, match="not representable"):
+        format_fault_profile(FaultProfile(name="my-bespoke-profile", seed=1))

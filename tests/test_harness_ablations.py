@@ -20,6 +20,7 @@ ACC = AccuracyScale(
 SEARCH = SearchScale(n_sensors=1, n_points=1500, continuous_steps=3)
 
 
+@pytest.mark.slow
 class TestWarmstart:
     def test_warmstart_is_cheaper_not_worse(self):
         result = run_warmstart_ablation(ACC)
@@ -71,6 +72,7 @@ class TestHistoryTradeoff:
         assert "capacity" in result.render().lower()
 
 
+@pytest.mark.slow
 class TestMeasureComparison:
     def test_structure_and_ranking(self):
         from repro.harness import run_measure_comparison

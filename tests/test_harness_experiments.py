@@ -90,6 +90,7 @@ class TestFig8:
         assert "Fig. 8" in result.render()
 
 
+@pytest.mark.slow
 class TestAccuracyDrivers:
     def test_fig10_structure(self):
         result = run_fig10(ACCURACY)
